@@ -1,0 +1,109 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they probe the knobs behind them:
+
+* DDIO way count — how much LLC the NIC gets decides where the leak
+  starts (the mechanism behind Fig. 9),
+* LI-BDN channel credit — bounded-dataflow depth trades run-ahead
+  pipelining against hardware buffering (the mechanism behind the
+  fast-mode rates of Fig. 11),
+* skid-buffer depth — the fast-mode correctness margin of Fig. 3c,
+* compiled vs. interpreted RTL engine — the host-simulator speedup that
+  makes the whole reproduction tractable.
+"""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.fireripper import FAST, FireRipper, PartitionGroup, PartitionSpec
+from repro.fireripper.fastmode import make_skid_buffer
+from repro.platform import QSFP_AURORA
+from repro.rtl import Simulator
+from repro.targets.soc import make_rocket_like_soc, make_wide_pair
+from repro.uarch.ddio import LeakyDMAExperiment
+
+
+def test_ablation_ddio_ways(benchmark):
+    """More DDIO ways postpone the leak: CPU hit rate at 8 cores rises
+    with the I/O way allocation."""
+    def run():
+        out = {}
+        for ways in (1, 2, 4):
+            result = LeakyDMAExperiment(
+                8, topology="xbar", ddio_ways=ways,
+                packets_per_core=120).run()
+            out[ways] = result
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nDDIO ways ablation (8 cores, xbar):")
+    for ways, r in results.items():
+        print(f"  {ways} ways: wr={r.nic_write_latency_ns:7.1f} ns  "
+              f"cpu_hit={r.cpu_hit_rate:.2f}  "
+              f"unread evictions={r.llc_stats['io_evictions_of_unread']}")
+    assert results[4].llc_stats["io_evictions_of_unread"] \
+        <= results[1].llc_stats["io_evictions_of_unread"]
+
+
+def test_ablation_channel_credit(benchmark):
+    """Deeper channel credit lets partitions run ahead, raising the
+    fast-mode rate — the bounded-dataflow knob."""
+    def run():
+        rates = {}
+        for capacity in (0, 1, 2):
+            spec = PartitionSpec(mode=FAST, groups=[
+                PartitionGroup.make("fpga1", ["right"])])
+            design = FireRipper(spec).compile(
+                make_wide_pair(256, comb_boundary=True))
+            sim = design.build_simulation(
+                QSFP_AURORA, channel_capacity=capacity)
+            rates[capacity] = sim.run(120).rate_hz
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nchannel-credit ablation (fast mode, 256b boundary):")
+    for cap, rate in rates.items():
+        print(f"  credit {cap}: {rate / 1e6:.3f} MHz")
+    assert rates[0] <= rates[1] <= rates[2]
+
+
+def test_ablation_skid_depth(benchmark):
+    """The minimum safe skid depth is ready_threshold + 3; shallower
+    configurations are rejected at compile time."""
+    def run():
+        ok = []
+        for depth in (4, 6, 8):
+            module = make_skid_buffer(8, depth=depth)
+            ok.append(module.name)
+        return ok
+
+    names = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nbuilt skid buffers: {names}")
+    with pytest.raises(CompileError):
+        make_skid_buffer(8, depth=3)
+
+
+def test_ablation_compiled_vs_interpreted_engine(benchmark):
+    """The code-generating engine backend vs. the tree-walking
+    interpreter on the Rocket-like SoC."""
+    circuit = make_rocket_like_soc(20, 6)
+
+    def run(compiled):
+        sim = Simulator(circuit, compiled=compiled)
+        sim.run_until("done", 1, max_cycles=20_000)
+        return sim.cycle
+
+    import time
+
+    t0 = time.perf_counter()
+    cycles = run(True)
+    compiled_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    assert run(False) == cycles
+    interp_s = time.perf_counter() - t0
+    print(f"\nengine backends over {cycles} cycles: "
+          f"compiled {compiled_s * 1e3:.0f} ms, "
+          f"interpreted {interp_s * 1e3:.0f} ms "
+          f"({interp_s / compiled_s:.1f}x speedup from codegen)")
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    assert interp_s > compiled_s  # codegen must actually pay off

@@ -1,0 +1,42 @@
+"""Benchmarks regenerating the Sec. V-A and V-B case studies."""
+
+from repro.experiments import casestudy_24core, casestudy_gc40
+
+
+def test_24core_case_study(benchmark, paper_scale):
+    mini_tiles = 12 if paper_scale else 8
+    result = benchmark.pedantic(
+        casestudy_24core.run, kwargs={"mini_tiles": mini_tiles},
+        rounds=1, iterations=1)
+    print("\n" + casestudy_24core.format_table(result))
+    assert 0.3e6 < result.modeled_rate_hz < 1.0e6   # paper: 0.58 MHz
+    assert 300 < result.speedup < 700               # paper: 460x
+    assert result.hours_to_bug_fireaxe < 2.0        # paper: < 2 hours
+    assert result.bug_detected_buggy
+    assert not result.bug_detected_fixed
+    assert result.small_workload_ok_buggy
+
+
+def test_gc40_case_study(benchmark):
+    result = benchmark.pedantic(casestudy_gc40.run, rounds=1,
+                                iterations=1)
+    print("\n" + casestudy_gc40.format_table(result))
+    assert not result.monolithic_fits
+    assert result.boundary_bits > 7000
+    assert 0.1e6 < result.modeled_rate_hz < 0.35e6  # paper: 0.2 MHz
+
+
+def test_simulation_engine_throughput(benchmark):
+    """Raw RTL-engine speed on a real SoC (host-simulator performance,
+    not a paper figure — tracks the substrate itself)."""
+    from repro.harness import MonolithicSimulation
+    from repro.targets.soc import make_rocket_like_soc
+
+    circuit = make_rocket_like_soc(20, 8)
+
+    def run():
+        mono = MonolithicSimulation(circuit)
+        return mono.run_until("done", 1, max_cycles=20_000).target_cycles
+
+    cycles = benchmark(run)
+    assert cycles > 100

@@ -1,0 +1,57 @@
+"""Benchmarks regenerating the QSFP (Fig. 11) and peer-to-peer PCIe
+(Fig. 12) performance sweeps."""
+
+from repro.experiments import fig11, fig12
+from repro.experiments.sweeps import fast_over_exact_speedup
+from repro.fireripper import EXACT, FAST
+
+_QUICK_WIDTHS = (128, 1024, 2200, 4500)
+_QUICK_FREQS = (10.0, 50.0, 90.0)
+
+
+def _grid(paper_scale):
+    if paper_scale:
+        return fig11.WIDTHS, fig11.FREQS_MHZ
+    return _QUICK_WIDTHS, _QUICK_FREQS
+
+
+def test_fig11_qsfp_sweep(benchmark, paper_scale):
+    widths, freqs = _grid(paper_scale)
+    points = benchmark.pedantic(
+        fig11.run, kwargs={"widths": widths, "freqs_mhz": freqs,
+                           "cycles": 80},
+        rounds=1, iterations=1)
+    print("\n" + fig11.format_table(points))
+    # headline: ~1.6 MHz peak; fast-mode advantage fades with width
+    assert 1.0 < fig11.peak_rate_mhz(points) < 2.2
+    narrow = fast_over_exact_speedup(points, widths[0], freqs[-1])
+    wide = fast_over_exact_speedup(points, widths[-1], freqs[-1])
+    assert narrow > wide
+    # exact-mode rate monotone in bitstream frequency
+    for w in widths:
+        series = [p.measured_hz for p in points
+                  if p.mode == EXACT and p.width_bits == w]
+        assert series == sorted(series)
+
+
+def test_fig12_pcie_sweep(benchmark, paper_scale):
+    widths, freqs = _grid(paper_scale)
+    points = benchmark.pedantic(
+        fig12.run, kwargs={"widths": widths, "freqs_mhz": freqs,
+                           "cycles": 80},
+        rounds=1, iterations=1)
+    print("\n" + fig12.format_table(points))
+    assert 0.7 < fig12.peak_rate_mhz(points) < 1.3  # paper: ~1 MHz
+
+
+def test_fig11_vs_fig12_cloud_penalty(benchmark):
+    """The paper: cloud rates are ~1.5x lower than on-prem QSFP."""
+    def both():
+        qsfp = fig11.run(widths=(512,), freqs_mhz=(90.0,), cycles=80)
+        pcie = fig12.run(widths=(512,), freqs_mhz=(90.0,), cycles=80)
+        return qsfp[0].measured_hz, pcie[0].measured_hz
+
+    qsfp_hz, pcie_hz = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = qsfp_hz / pcie_hz
+    print(f"\nQSFP/PCIe rate ratio: {ratio:.2f}x (paper: ~1.5x)")
+    assert 1.2 < ratio < 2.2

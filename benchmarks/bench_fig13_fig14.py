@@ -1,0 +1,38 @@
+"""Benchmarks regenerating Fig. 13 (FPGA-count sweep) and Fig. 14
+(FAME-5 amortization)."""
+
+from repro.experiments import fig13, fig14
+
+
+def test_fig13_fpga_count(benchmark, paper_scale):
+    counts = (2, 3, 4, 5)
+    freqs = (30.0, 90.0) if paper_scale else (30.0,)
+    points = benchmark.pedantic(
+        fig13.run, kwargs={"fpga_counts": counts, "freqs_mhz": freqs,
+                           "cycles": 80},
+        rounds=1, iterations=1)
+    print("\n" + fig13.format_table(points))
+    for freq in freqs:
+        series = [p.measured_hz for p in points
+                  if p.host_freq_mhz == freq]
+        # mild monotone degradation as the ring grows
+        assert series[0] > series[-1]
+        assert series[-1] > series[0] * 0.5  # "minor timing issues"
+
+
+def test_fig14_fame5(benchmark, paper_scale):
+    tiles = (1, 2, 3, 4, 5, 6) if paper_scale else (1, 2, 4, 6)
+    freqs = fig14.SOC_FREQS_MHZ if paper_scale else (20.0,)
+    points = benchmark.pedantic(
+        fig14.run, kwargs={"tile_counts": tiles,
+                           "soc_freqs_mhz": freqs, "cycles": 80},
+        rounds=1, iterations=1)
+    print("\n" + fig14.format_table(points))
+    for freq in freqs:
+        # sixfold duplication costs ~2x, not 6x: the amortization claim
+        factor = fig14.degradation_factor(points, freq)
+        assert factor < 2.3
+        series = {p.n_tiles: p.measured_hz for p in points
+                  if p.soc_freq_mhz == freq}
+        # the marginal cost of extra threads shrinks (sub-linear)
+        assert series[2] / series[max(tiles)] < max(tiles) / 2 / 2

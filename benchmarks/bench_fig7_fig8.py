@@ -1,0 +1,27 @@
+"""Benchmarks regenerating Fig. 7 (Embench runtimes) and Fig. 8 (CPI
+stacks)."""
+
+from repro.experiments import fig7, fig8
+
+
+def test_fig7_embench_runtimes(benchmark, paper_scale):
+    n_instr = 60_000 if paper_scale else 20_000
+    rows = benchmark.pedantic(fig7.run, kwargs={"n_instr": n_instr},
+                              rounds=1, iterations=1)
+    print("\n" + fig7.format_table(rows))
+    uplift = fig7.average_ipc_uplift_pct(rows)
+    assert 10.0 < uplift < 30.0  # paper: 15.8%
+    # per-benchmark headline shapes
+    by_name = {r.workload: r for r in rows}
+    assert by_name["nettle-aes"].uplift_pct() > 40.0
+    assert by_name["nbody"].uplift_pct() < 10.0
+
+
+def test_fig8_cpi_stacks(benchmark, paper_scale):
+    n_instr = 60_000 if paper_scale else 20_000
+    stacks = benchmark.pedantic(fig8.run, kwargs={"n_instr": n_instr},
+                                rounds=1, iterations=1)
+    print("\n" + fig8.format_table(stacks))
+    # every stack sums to its CPI and both cores appear per benchmark
+    cores = {s.core for s in stacks}
+    assert cores == {"Large BOOM", "GC40 BOOM"}

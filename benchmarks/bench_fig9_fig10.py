@@ -1,0 +1,38 @@
+"""Benchmarks regenerating Fig. 9 (leaky-DMA) and Fig. 10 (Go GC)."""
+
+from repro.experiments import fig9, fig10
+from repro.uarch.ddio import RING, XBAR
+
+
+def test_fig9_leaky_dma(benchmark, paper_scale):
+    packets = 300 if paper_scale else 120
+    counts = (1, 2, 4, 6, 8, 10, 12) if paper_scale else (1, 6, 12)
+    results = benchmark.pedantic(
+        fig9.run, kwargs={"core_counts": counts,
+                          "packets_per_core": packets},
+        rounds=1, iterations=1)
+    print("\n" + fig9.format_table(results))
+    by = {(r.topology, r.n_cores): r for r in results}
+    # latencies rise with cores; xbar ends up worse than ring
+    for topo in (XBAR, RING):
+        first = by[(topo, counts[0])].nic_write_latency_ns
+        last = by[(topo, counts[-1])].nic_write_latency_ns
+        assert last > first
+    assert by[(XBAR, counts[-1])].nic_write_latency_ns \
+        > by[(RING, counts[-1])].nic_write_latency_ns
+
+
+def test_fig10_go_gc_tails(benchmark, paper_scale):
+    duration = 400.0 if paper_scale else 200.0
+    results = benchmark.pedantic(
+        fig10.run, kwargs={"duration_ms": duration},
+        rounds=1, iterations=1)
+    print("\n" + fig10.format_table(results))
+    by = {(r.config.gomaxprocs, r.config.affinity_cores): r
+          for r in results}
+    assert by[(1, 1)].p99_ms > 3 * by[(2, 2)].p99_ms
+    assert by[(2, 1)].p99_ms < by[(2, 2)].p99_ms  # pinned beats spread
+    same, cross = fig10.xeon_numa_comparison(duration_ms=600.0)
+    print(f"\nXeon NUMA check: same-node p99={same:.1f} ms, "
+          f"cross-node p99={cross:.1f} ms (paper: 28 vs 42)")
+    assert cross > same

@@ -1,0 +1,22 @@
+"""Benchmarks regenerating Table I (core parameters/areas) and Table II
+(cycle-exactness validation)."""
+
+from repro.experiments import table1, table2
+
+
+def test_table1(benchmark):
+    result = benchmark(table1.run)
+    text = table1.format_table(result)
+    print("\n" + text)
+    assert "GC40 BOOM" in text
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    print("\n" + table2.format_table(rows))
+    # the paper's headline: exact-mode is always "No Error"
+    assert all(r.exact_error_pct == 0.0 for r in rows)
+    by_name = {r.name: r for r in rows}
+    sha3 = by_name["Sha3Accel (encryption)"]
+    assert all(sha3.fast_error_pct >= r.fast_error_pct
+               for r in rows)

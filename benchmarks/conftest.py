@@ -1,0 +1,20 @@
+"""Benchmark-harness configuration.
+
+Every paper table/figure has one bench module that regenerates its
+rows/series through pytest-benchmark.  Benchmarks print their tables via
+``--benchmark-only -s`` (the printed artefact is the point; timings show
+how long each regeneration takes).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run the sweeps at full paper scale (slower)")
+
+
+@pytest.fixture
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

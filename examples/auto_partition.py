@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Automatic partitioning + deployment planning (the paper's Sec. VIII
+future-work features, implemented).
+
+1. let the graph-partitioning search pick the FPGA boundaries of a
+   6-core ring SoC instead of naming modules by hand,
+2. compile and co-simulate the result over three transports — direct
+   QSFP, peer-to-peer PCIe, and switched Ethernet (which frees the
+   topology from the U250's two QSFP cages),
+3. ask the hybrid cloud/on-prem planner where to run the campaign.
+
+Run:  python examples/auto_partition.py
+"""
+
+from repro.fireripper import FAST, FireRipper, auto_partition
+from repro.harness import ConstantSource
+from repro.harness.partitioned import Partition, PartitionedSimulation
+from repro.libdn import LIBDNHost
+from repro.platform import (
+    Campaign,
+    PCIE_P2P,
+    QSFP_AURORA,
+    format_plan,
+    make_switched_links,
+)
+from repro.rtl import Simulator
+from repro.targets.soc import make_ring_noc_soc
+
+
+def build_ethernet_sim(design):
+    links, fabric = make_switched_links(design.plan.links)
+    partitions, sources = [], {}
+    for name, circuit in design.partitions.items():
+        chans = design.plan.channels[name]
+        host = LIBDNHost(Simulator(circuit), chans.in_specs,
+                         chans.out_specs, name=name)
+        partitions.append(Partition(name, host, 30.0))
+        for chan_name in chans.external_in:
+            spec = next(s for s in chans.in_specs if s.name == chan_name)
+            sources[(name, chan_name)] = ConstantSource(
+                {p: 0 for p in spec.port_names})
+    return PartitionedSimulation(partitions, links, sources=sources,
+                                 seed_boundary=True), fabric
+
+
+def main():
+    circuit = make_ring_noc_soc(6, messages_per_tile=3)
+    print("searching for a 3-FPGA partition of the 6-core ring SoC...")
+    result = auto_partition(
+        circuit, n_fpgas=3, mode=FAST,
+        keep_in_base=["tile6", "conv6", "router6"])
+    print(result.to_text())
+
+    design = FireRipper(result.spec).compile(circuit)
+    print("\nco-simulating the chosen partition over three transports:")
+    for transport in (QSFP_AURORA, PCIE_P2P):
+        sim = design.build_simulation(transport, host_freq_mhz=30.0)
+        rate = sim.run(300).rate_mhz
+        print(f"  {transport.name:<24} {rate:6.2f} MHz")
+    eth_sim, fabric = build_ethernet_sim(design)
+    rate = eth_sim.run(300).rate_mhz
+    print(f"  {'ethernet_100g_switched':<24} {rate:6.2f} MHz "
+          f"({fabric.tokens} tokens through the shared switch)")
+
+    print("\nwhere should the benchmark campaign run?\n")
+    print(format_plan(Campaign(fpgas_per_sim=3, dev_hours=2_000,
+                               bench_sim_hours=4_000,
+                               bench_parallelism=8)))
+
+
+if __name__ == "__main__":
+    main()

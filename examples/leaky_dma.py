@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The leaky-DMA study (Sec. V-C / Fig. 9) as a runnable script.
+
+Sweeps forwarding-core counts over both bus topologies and prints the
+NIC's request-to-response latency counters, then explains what happened
+to the DDIO ways.
+
+Run:  python examples/leaky_dma.py
+"""
+
+from repro.uarch.ddio import RING, XBAR, LeakyDMAExperiment, sweep
+
+
+def main():
+    counts = (1, 2, 4, 6, 8, 10, 12)
+    print("server SoC: 128 KiB LLC, 8 ways, 2 DDIO ways; "
+          "1500B packets, 128 descriptors per core\n")
+    results = sweep(counts, packets_per_core=200)
+
+    print(f"{'topology':<8}{'cores':>6}{'Rd Lat(ns)':>12}"
+          f"{'Wr Lat(ns)':>12}{'CPU hit':>9}{'unread evictions':>18}")
+    for r in results:
+        print(f"{r.topology:<8}{r.n_cores:>6}"
+              f"{r.nic_read_latency_ns:>12.1f}"
+              f"{r.nic_write_latency_ns:>12.1f}"
+              f"{r.cpu_hit_rate:>9.2f}"
+              f"{r.llc_stats['io_evictions_of_unread']:>18}")
+
+    by = {(r.topology, r.n_cores): r for r in results}
+    x1 = by[(XBAR, counts[0])].nic_write_latency_ns
+    x12 = by[(XBAR, counts[-1])].nic_write_latency_ns
+    r12 = by[(RING, counts[-1])].nic_write_latency_ns
+    print(f"\nwrite latency grew {x12 / x1:.1f}x from 1 to 12 cores "
+          f"on the crossbar;")
+    print(f"at 12 cores the crossbar is {x12 / r12:.1f}x worse than "
+          f"the ring (single LLC port saturates; banked ring scales).")
+    print("the leak: packets land in 2 DDIO ways; once in-flight "
+          "buffers outgrow them,\narriving packets evict unprocessed "
+          "ones and every access falls through to DRAM.")
+
+
+if __name__ == "__main__":
+    main()

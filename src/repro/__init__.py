@@ -1,0 +1,54 @@
+"""FireAxe reproduction: partitioned FPGA-accelerated RTL simulation.
+
+Reimplements the systems from *FireAxe: Partitioned FPGA-Accelerated
+Simulation of Large-Scale RTL Designs* (ISCA 2024) as a pure-Python
+library: a FIRRTL-like circuit IR, a cycle-based RTL simulator, LI-BDN
+token-level simulation, the FireRipper partitioning compiler (exact and
+fast modes, NoC-partition-mode), FPGA platform/transport models, and the
+microarchitectural performance models behind the paper's case studies.
+
+Quickstart::
+
+    from repro.firrtl import ModuleBuilder, build_circuit
+    from repro.rtl import Simulator
+
+    b = ModuleBuilder("Counter")
+    out = b.output("count", 8)
+    r = b.reg("r", 8)
+    b.connect(r, r + 1)
+    b.connect(out, r)
+    sim = Simulator(build_circuit(b))
+    sim.run(5)
+    assert sim.peek("count") == 5
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+from .errors import (
+    CombChainError,
+    CombLoopError,
+    CompileError,
+    DeadlockError,
+    IRError,
+    ReproError,
+    ResourceError,
+    SelectionError,
+    SimulationError,
+    TransportError,
+)
+
+__all__ = [
+    "errors",
+    "__version__",
+    "ReproError",
+    "IRError",
+    "CombLoopError",
+    "SimulationError",
+    "DeadlockError",
+    "CompileError",
+    "CombChainError",
+    "SelectionError",
+    "ResourceError",
+    "TransportError",
+]

@@ -1,0 +1,182 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands mirror the FireSim/FireAxe manager workflow at miniature
+scale, operating on circuit files in the textual IR format:
+
+* ``report``    — compile a partition spec and print FireRipper's
+  interface/resource/performance feedback,
+* ``partition`` — write the per-FPGA partition circuits to files,
+* ``simulate``  — run the partitioned co-simulation and report the
+  achieved rate (optionally until an output signal asserts),
+* ``autopartition`` — run the boundary search and print the resulting
+  spec,
+* ``experiments`` — alias for ``python -m repro.experiments``.
+
+Example::
+
+    python -m repro report design.fir --extract right --mode exact
+    python -m repro simulate design.fir --extract right --cycles 200 \
+        --transport pcie
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .errors import ReproError
+from .fireripper import (
+    EXACT,
+    FireRipper,
+    PartitionGroup,
+    PartitionSpec,
+    auto_partition,
+)
+from .firrtl import parse_circuit, print_circuit
+from .platform import (
+    ETHERNET_100G,
+    HOST_PCIE,
+    PCIE_P2P,
+    QSFP_AURORA,
+    XILINX_U250,
+)
+
+TRANSPORTS = {
+    "qsfp": QSFP_AURORA,
+    "pcie": PCIE_P2P,
+    "host-pcie": HOST_PCIE,
+    "ethernet": ETHERNET_100G,
+}
+
+
+def _load(path: str):
+    return parse_circuit(Path(path).read_text())
+
+
+def _spec(args) -> PartitionSpec:
+    groups = []
+    for i, group in enumerate(args.extract):
+        paths = group.split(",")
+        groups.append(PartitionGroup.make(f"fpga{i}", paths))
+    return PartitionSpec(mode=args.mode, groups=groups)
+
+
+def _add_common(sub):
+    sub.add_argument("circuit", help="circuit file in the textual IR")
+    sub.add_argument("--extract", action="append", required=True,
+                     metavar="PATHS",
+                     help="comma-separated instance paths for one FPGA "
+                          "(repeatable)")
+    sub.add_argument("--mode", choices=["exact", "fast"], default=EXACT)
+
+
+def cmd_report(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(
+        circuit, profile=XILINX_U250,
+        transport=TRANSPORTS[args.transport],
+        host_freq_mhz=args.freq)
+    print(design.report.to_text())
+    return 0
+
+
+def cmd_partition(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, part in design.partitions.items():
+        path = out_dir / f"{name}.fir"
+        path.write_text(print_circuit(part))
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    sim = design.build_simulation(
+        TRANSPORTS[args.transport], host_freq_mhz=args.freq,
+        record_outputs=True)
+
+    stop = None
+    if args.until:
+        signal = args.until
+
+        def stop(s):  # noqa: F811
+            log = s.output_log.get(("base", "io_out"), [])
+            return bool(log) and log[-1].get(signal, 0) == 1
+
+    result = sim.run(args.cycles, stop=stop)
+    print(f"simulated {result.target_cycles} target cycles "
+          f"in {result.wall_ns / 1e3:.1f} us of host time")
+    print(f"rate: {result.rate_mhz:.3f} MHz over "
+          f"{TRANSPORTS[args.transport].name}")
+    print(f"tokens transferred: {result.tokens_transferred}")
+    log = sim.output_log.get(("base", "io_out"), [])
+    if log:
+        print(f"final outputs: {log[-1]}")
+    return 0
+
+
+def cmd_autopartition(args) -> int:
+    circuit = _load(args.circuit)
+    result = auto_partition(circuit, n_fpgas=args.fpgas, mode=args.mode,
+                            keep_in_base=args.keep or [])
+    print(result.to_text())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FireAxe reproduction: partition and co-simulate "
+                    "RTL designs across modelled FPGAs.")
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_report = subs.add_parser("report", help="compile + print feedback")
+    _add_common(p_report)
+    p_report.add_argument("--transport", choices=TRANSPORTS,
+                          default="qsfp")
+    p_report.add_argument("--freq", type=float, default=30.0,
+                          help="bitstream frequency in MHz")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_part = subs.add_parser("partition",
+                             help="write per-FPGA circuit files")
+    _add_common(p_part)
+    p_part.add_argument("--out", default="partitions",
+                        help="output directory")
+    p_part.set_defaults(fn=cmd_partition)
+
+    p_sim = subs.add_parser("simulate", help="run the co-simulation")
+    _add_common(p_sim)
+    p_sim.add_argument("--transport", choices=TRANSPORTS, default="qsfp")
+    p_sim.add_argument("--freq", type=float, default=30.0)
+    p_sim.add_argument("--cycles", type=int, default=1000)
+    p_sim.add_argument("--until", metavar="SIGNAL",
+                       help="stop when this base output reads 1")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_auto = subs.add_parser("autopartition",
+                             help="search for partition boundaries")
+    p_auto.add_argument("circuit")
+    p_auto.add_argument("--fpgas", type=int, default=2)
+    p_auto.add_argument("--mode", choices=["exact", "fast"],
+                        default=EXACT)
+    p_auto.add_argument("--keep", action="append", metavar="INSTANCE",
+                        help="pin an instance to the base partition")
+    p_auto.set_defaults(fn=cmd_autopartition)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the FireAxe reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors.  The compiler-facing errors carry enough structure for tools to
+render actionable diagnostics (e.g. the combinational port chain that made a
+partition boundary illegal, mirroring FireRipper's user feedback).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class IRError(ReproError):
+    """Malformed IR: unknown references, duplicate names, bad widths."""
+
+
+class ElaborationError(ReproError):
+    """The circuit could not be flattened into a netlist."""
+
+
+class CombLoopError(ElaborationError):
+    """A combinational cycle was found during elaboration.
+
+    Attributes:
+        cycle: flattened signal names forming the loop, in order.
+    """
+
+    def __init__(self, cycle: Sequence[str]):
+        self.cycle = list(cycle)
+        super().__init__(
+            "combinational loop: " + " -> ".join(self.cycle + self.cycle[:1])
+        )
+
+
+class SimulationError(ReproError):
+    """A runtime failure inside one of the simulation engines."""
+
+
+class DeadlockError(SimulationError):
+    """Token exchange between LI-BDNs can make no further progress.
+
+    This is the failure mode of Fig. 2a in the paper: aggregating all I/O
+    into a single channel pair across a combinational boundary produces a
+    circular token dependency.
+
+    Attributes:
+        host_cycle: host time at which progress stopped.
+        detail: human-readable description of the stuck channels.
+    """
+
+    def __init__(self, detail: str, host_cycle: Optional[int] = None):
+        self.host_cycle = host_cycle
+        self.detail = detail
+        msg = f"LI-BDN deadlock: {detail}"
+        if host_cycle is not None:
+            msg += f" (host cycle {host_cycle})"
+        super().__init__(msg)
+
+
+class CompileError(ReproError):
+    """FireRipper rejected the partition specification."""
+
+
+class CombChainError(CompileError):
+    """The combinational dependency chain across the boundary exceeds 2.
+
+    FireRipper terminates compilation in this case and reports the chain of
+    combinational ports so the user can move the partition point.
+
+    Attributes:
+        chain: the offending alternating output/input port chain.
+    """
+
+    def __init__(self, chain: Sequence[str]):
+        self.chain = list(chain)
+        super().__init__(
+            "combinational dependency chain longer than 2 across the "
+            "partition boundary: " + " -> ".join(self.chain)
+        )
+
+
+class SelectionError(CompileError):
+    """The module-selection spec named instances that do not exist or
+    cannot be grouped (e.g. non-adjacent NoC router indices)."""
+
+
+class ResourceError(ReproError):
+    """A partition does not fit the FPGA it was mapped to."""
+
+    def __init__(self, message: str, utilization: Optional[dict] = None):
+        self.utilization = dict(utilization or {})
+        super().__init__(message)
+
+
+class TransportError(ReproError):
+    """Misconfigured FPGA-to-FPGA transport (topology, link count)."""

@@ -1,0 +1,44 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning structured results and
+``format_table(results)`` rendering the same rows/series the paper
+reports.  ``python -m repro.experiments`` regenerates everything.
+
+==================  ==============================================
+module              paper artefact
+==================  ==============================================
+``table1``          Table I   core parameters + area model
+``table2``          Table II  cycle-exactness validation
+``fig7``            Fig. 7    Embench runtimes (3 cores)
+``fig8``            Fig. 8    CPI stacks
+``fig9``            Fig. 9    leaky-DMA latency scaling
+``fig10``           Fig. 10   Go GC tail latency
+``fig11``           Fig. 11   QSFP performance sweeps
+``fig12``           Fig. 12   PCIe peer-to-peer sweeps
+``fig13``           Fig. 13   FPGA-count (ring) sweeps
+``fig14``           Fig. 14   FAME-5 amortization
+``casestudy_24core``  Sec. V-A  24-core SoC + RTL bug hunt
+``casestudy_gc40``    Sec. V-B  split GC40 BOOM core
+==================  ==============================================
+"""
+
+from . import (
+    casestudy_24core,
+    casestudy_gc40,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "table1", "table2", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14",
+    "casestudy_24core", "casestudy_gc40",
+]

@@ -1,0 +1,246 @@
+"""Sec. V-A case study: a 24-core SoC across five FPGAs.
+
+Four parts, mirroring the paper:
+
+1. **Scale**: a 24-tile ring-NoC SoC is partitioned across five FPGAs
+   with NoC-partition-mode (six tiles per FPGA, the SoC subsystem on the
+   fifth), tiles FAME-5 threaded; the full co-simulation boots, runs
+   cross-NoC traffic, and reports an achieved rate (paper: 0.58 MHz).
+2. **Bug hunt**: the BOOM tiles carry a planted RTL bug that only
+   manifests under "larger binaries" (wide right shifts).  Booting with
+   the small workload succeeds; loading the large binary trips the
+   checksum validation — the analogue of the paper's SBI trap at 3e9
+   cycles.
+3. **Core swap**: replacing the buggy cores with fixed ("in-order")
+   cores and rerunning the same large binary succeeds, isolating the bug
+   to the core RTL, exactly the paper's methodology.
+4. **Speedup**: time-to-bug at the partitioned-FPGA rate vs a commercial
+   software RTL simulator (paper: <2 hours vs weeks, 460x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fireripper import FAST, FireRipper, NoCPartitionSpec, PartitionSpec
+from ..harness.analytic import analytic_rate_hz
+from ..harness.software_sim import (
+    luts_to_gate_equivalents,
+    software_rtl_sim_rate_hz,
+)
+from ..platform.transport import QSFP_AURORA
+from ..targets.noc import flit_width
+from ..targets.programs import (
+    large_binary_program,
+    large_binary_reference_checksum,
+    sink_program,
+)
+from ..targets.soc import make_ring_noc_soc
+from ..uarch.params import LARGE_BOOM
+
+#: paper constants for the headline comparison
+PAPER_BUG_CYCLES = 3_000_000_000
+PAPER_SW_RATE_HZ = 1_260.0
+N_CORES = 24
+FPGAS = 5
+
+
+@dataclass
+class CaseStudy24Result:
+    """Everything Sec. V-A reports."""
+
+    rtl_tiles: int                       # tiles in the RTL-tier co-sim
+    mini_rate_hz: float                  # measured on that co-sim
+    modeled_rate_hz: float               # analytic, full-scale config
+    sw_rate_hz: float                    # software RTL sim model
+    speedup: float
+    hours_to_bug_fireaxe: float
+    days_to_bug_software: float
+    bug_detected_buggy: bool
+    bug_detected_fixed: bool
+    small_workload_ok_buggy: bool
+    partition_groups: Dict[str, List[str]]
+
+
+def _run_ring(n_tiles: int, shift_bug: bool, large_binary: bool,
+              fpga_groups: List[List[int]],
+              max_cycles: int = 30_000) -> Tuple[bool, float, Dict]:
+    """Partitioned run; returns (checksum_ok, rate_hz, groups)."""
+    count = 6
+    if large_binary:
+        programs = [large_binary_program(count)
+                    for _ in range(n_tiles)]
+        expected = (n_tiles * large_binary_reference_checksum(count)) \
+            & 0xFFFF
+        messages = n_tiles  # one checksum message per tile
+    else:
+        from ..targets.programs import sender_program
+        per_tile = 2
+        programs = [sender_program(per_tile) for _ in range(n_tiles)]
+        expected = (n_tiles * sum(range(1, per_tile + 1))) & 0xFFFF
+        messages = n_tiles * per_tile
+    hub = sink_program(messages)
+
+    from ..targets import soc as socmod
+    from ..targets.tinycore import make_tile
+
+    # build the SoC with optionally buggy tiles: patch make_tile's bug
+    # flag by building tiles explicitly through the soc builder's
+    # program list plus a monkeypatch-free path: make_ring_noc_soc
+    # accepts programs; bug injection needs tile construction, so we
+    # wrap it here.
+    circuit = _make_ring_soc_with_bug(n_tiles, programs, hub, shift_bug)
+
+    spec = PartitionSpec(mode=FAST,
+                         noc=NoCPartitionSpec.make(fpga_groups))
+    design = FireRipper(spec).compile(circuit)
+    sim = design.build_simulation(QSFP_AURORA, host_freq_mhz=30.0,
+                                  record_outputs=True)
+
+    def stop(s) -> bool:
+        log = s.output_log.get(("base", "io_out"), [])
+        return bool(log) and log[-1]["done"] == 1
+
+    result = sim.run(max_cycles, stop=stop)
+    log = sim.output_log.get(("base", "io_out"), [])
+    finished = bool(log) and log[-1]["done"] == 1
+    ok = finished and (log[-1]["result"] == expected)
+    return ok, result.rate_hz, design.extracted.group_members
+
+
+def _make_ring_soc_with_bug(n_tiles, programs, hub_program, shift_bug):
+    """Ring SoC builder with per-tile bug injection."""
+    from ..errors import IRError
+    from ..firrtl.builder import ModuleBuilder, make_circuit, mux
+    from ..targets.noc import PAYLOAD, make_converter, make_router
+    from ..targets.tinycore import make_tile
+
+    n_routers = n_tiles + 1
+    hub_id = n_tiles
+    library = []
+    b = ModuleBuilder(f"RingSoC_{n_tiles}t_bug{int(shift_bug)}")
+    done = b.output("done", 1)
+    result = b.output("result", PAYLOAD)
+    routers = []
+    for i in range(n_routers):
+        rmod, rlib = make_router(i, n_routers)
+        library.append(rmod)
+        library.extend(rlib)
+        routers.append(b.inst(f"router{i}", rmod))
+
+    def attach(idx, program, dest, label, bug):
+        tmod, tlib = make_tile(program, name=f"{label}Tile{idx}",
+                               shift_bug=bug)
+        cmod = make_converter(dest, n_routers,
+                              name=f"Converter{idx}_n{n_routers}")
+        library.extend([tmod, cmod])
+        library.extend(tlib)
+        t = b.inst(f"tile{idx}", tmod)
+        c = b.inst(f"conv{idx}", cmod)
+        r = routers[idx]
+        b.connect(c["tile_in_valid"], t["net_out_valid"])
+        b.connect(c["tile_in_bits"], t["net_out_bits"])
+        b.connect(t["net_out_ready"], c["tile_in_ready"])
+        b.connect(t["net_in_valid"], c["tile_out_valid"])
+        b.connect(t["net_in_bits"], c["tile_out_bits"])
+        b.connect(c["tile_out_ready"], t["net_in_ready"])
+        b.connect(r["local_in_valid"], c["net_out_valid"])
+        b.connect(r["local_in_bits"], c["net_out_bits"])
+        b.connect(c["net_out_ready"], r["local_in_ready"])
+        b.connect(c["net_in_valid"], r["local_out_valid"])
+        b.connect(c["net_in_bits"], r["local_out_bits"])
+        b.connect(r["local_out_ready"], c["net_in_ready"])
+        return t
+
+    for i in range(n_tiles):
+        attach(i, programs[i], hub_id, "Core", shift_bug)
+    hub = attach(hub_id, hub_program, 0, "Hub", False)
+    for i in range(n_routers):
+        nxt = routers[(i + 1) % n_routers]
+        cur = routers[i]
+        b.connect(nxt["ring_in_valid"], cur["ring_out_valid"])
+        b.connect(nxt["ring_in_bits"], cur["ring_out_bits"])
+        b.connect(cur["ring_credit_in"], nxt["ring_credit_out"])
+    b.connect(done, hub["done"])
+    b.connect(result, hub["result"])
+    return make_circuit(b.build(), library)
+
+
+def modeled_full_scale_rate_hz(host_freq_mhz: float = 30.0) -> float:
+    """Analytic rate of the full 24-core, 5-FPGA, FAME-5x6 config."""
+    width = flit_width(N_CORES + 1) + 2
+    return analytic_rate_hz("fast", width, QSFP_AURORA, host_freq_mhz,
+                            threads=6, num_fpgas=FPGAS)
+
+
+def software_baseline_rate_hz() -> float:
+    """Commercial software RTL simulator rate for the 24-core SoC."""
+    luts = N_CORES * LARGE_BOOM.fpga_luts()
+    return software_rtl_sim_rate_hz(luts_to_gate_equivalents(luts))
+
+
+def run(mini_tiles: int = 24,
+        max_cycles: int = 60_000) -> CaseStudy24Result:
+    """Run the case study.
+
+    The RTL-tier co-simulation runs ``mini_tiles`` TinyCore tiles
+    (default: the paper's full 24, split across the same five FPGAs);
+    the headline BOOM-scale rate and speedup use the calibrated models
+    since TinyCore is far smaller than a BOOM core.
+    """
+    per = max(1, mini_tiles // 4)
+    groups = [list(range(i * per, (i + 1) * per)) for i in range(4)]
+    groups[-1] = list(range(3 * per, mini_tiles))
+
+    small_ok, rate_small, members = _run_ring(
+        mini_tiles, shift_bug=True, large_binary=False,
+        fpga_groups=groups, max_cycles=max_cycles)
+    large_ok_buggy, _, _ = _run_ring(
+        mini_tiles, shift_bug=True, large_binary=True,
+        fpga_groups=groups, max_cycles=max_cycles)
+    large_ok_fixed, _, _ = _run_ring(
+        mini_tiles, shift_bug=False, large_binary=True,
+        fpga_groups=groups, max_cycles=max_cycles)
+
+    modeled = modeled_full_scale_rate_hz()
+    sw_rate = software_baseline_rate_hz()
+    speedup = modeled / sw_rate
+    return CaseStudy24Result(
+        rtl_tiles=mini_tiles,
+        mini_rate_hz=rate_small,
+        modeled_rate_hz=modeled,
+        sw_rate_hz=sw_rate,
+        speedup=speedup,
+        hours_to_bug_fireaxe=PAPER_BUG_CYCLES / modeled / 3600.0,
+        days_to_bug_software=PAPER_BUG_CYCLES / sw_rate / 86_400.0,
+        bug_detected_buggy=not large_ok_buggy,
+        bug_detected_fixed=not large_ok_fixed,
+        small_workload_ok_buggy=small_ok,
+        partition_groups={k: sorted(v) for k, v in members.items()},
+    )
+
+
+def format_table(r: CaseStudy24Result) -> str:
+    lines = [
+        "24-core SoC case study (Sec. V-A)",
+        f"  RTL co-sim rate ({r.rtl_tiles} tiles, 5 FPGAs): "
+        f"{r.mini_rate_hz / 1e6:.3f} MHz",
+        f"  modeled 24-core rate (FAME-5 x6):      "
+        f"{r.modeled_rate_hz / 1e6:.3f} MHz   (paper: 0.58 MHz)",
+        f"  software RTL simulator:                "
+        f"{r.sw_rate_hz / 1e3:.2f} kHz    (paper: 1.26 kHz)",
+        f"  speedup:                               "
+        f"{r.speedup:.0f}x       (paper: 460x)",
+        f"  time to 3e9-cycle bug, FireAxe:        "
+        f"{r.hours_to_bug_fireaxe:.1f} hours (paper: < 2 hours)",
+        f"  time to 3e9-cycle bug, software sim:   "
+        f"{r.days_to_bug_software:.0f} days  (paper: weeks)",
+        f"  small workload boots on buggy cores:   "
+        f"{r.small_workload_ok_buggy}",
+        f"  large binary trips bug (buggy cores):  "
+        f"{r.bug_detected_buggy}",
+        f"  large binary passes (fixed cores):     "
+        f"{not r.bug_detected_fixed}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Fig. 10: garbage-collection tail latency in the Go ticker benchmark.
+
+Reports p95/p99 tick latency across the GOMAXPROCS x affinity grid.
+Claims to preserve: GOMAXPROCS=1 has a very high 99% tail (the GC worker
+serializes with the main goroutine); with more OS threads the tail drops;
+and — the surprising result — pinning the application to a *single* core
+beats spreading it across GOMAXPROCS cores, because cache affinity on a
+weak memory subsystem outweighs the parallelism.
+
+Also includes the paper's Xeon NUMA cross-check: with GOMAXPROCS=2,
+allocating two cores from one NUMA node gives a lower p99 than two cores
+from different NUMA nodes (28 ms vs 42 ms in the paper), corroborating
+the coherence-cost hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..uarch.golang import GoGCConfig, GoGCResult, fig10_grid, run_benchmark
+from ..uarch.sched import AffinityCostModel
+
+
+def run(duration_ms: float = 400.0) -> List[GoGCResult]:
+    """The Fig. 10 grid."""
+    return fig10_grid(duration_ms=duration_ms)
+
+
+def format_table(results: Sequence[GoGCResult]) -> str:
+    lines = [f"{'configuration':<28}{'p95 (ms)':>10}{'p99 (ms)':>10}"]
+    for r in results:
+        lines.append(f"{r.config.label:<28}{r.p95_ms:>10.3f}"
+                     f"{r.p99_ms:>10.3f}")
+    return "\n".join(lines)
+
+
+def xeon_numa_comparison(duration_ms: float = 2_000.0
+                         ) -> Tuple[float, float]:
+    """The Sec. V-D Xeon cross-check: GOMAXPROCS=2 with both cores on one
+    NUMA node vs split across nodes; returns (same_numa_p99_ms,
+    cross_numa_p99_ms).  The Xeon runs a much larger heap, so the GC and
+    migration magnitudes scale up; cross-NUMA coherence roughly doubles
+    the remote penalties.
+    """
+    base = dict(gomaxprocs=2, affinity_cores=2, duration_ms=duration_ms,
+                tick_work_us=12.0, gc_period_us=250_000.0,
+                gc_cpu_us=120_000.0, stw_us=2_500.0, assist_us=30.0)
+    same_numa = run_benchmark(
+        GoGCConfig(**base),
+        AffinityCostModel(local_wakeup_us=2.0, remote_wakeup_us=9.0,
+                          coherence_inflation=2.4,
+                          migration_inflation=8.0,
+                          migration_window_us=26_000.0,
+                          migration_period_ticks=90))
+    cross_numa = run_benchmark(
+        GoGCConfig(**base),
+        AffinityCostModel(local_wakeup_us=2.0, remote_wakeup_us=22.0,
+                          coherence_inflation=4.8,
+                          migration_inflation=14.0,
+                          migration_window_us=40_000.0,
+                          migration_period_ticks=90))
+    return same_numa.p99_ms, cross_numa.p99_ms

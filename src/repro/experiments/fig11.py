@@ -1,0 +1,35 @@
+"""Fig. 11: QSFP performance sweeps.
+
+Simulation rate over QSFP direct-attach cables as a function of the
+partition-interface width, the bitstream frequency, and the partitioning
+mode.  Claims to preserve: exact-mode stays relatively flat (the double
+link crossing dominates); fast-mode is ~2x faster at narrow interfaces;
+the fast-mode advantage fades once the interface is wider than ~1500
+bits because (de)serialization catches up with link latency; higher
+bitstream frequencies raise everything; peak rate ~1.6 MHz.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..platform.transport import QSFP_AURORA
+from .sweeps import SweepPoint, format_sweep, sweep_grid
+
+WIDTHS = (128, 512, 1024, 1500, 2200, 3200, 4500)
+FREQS_MHZ = (10.0, 30.0, 50.0, 70.0, 90.0)
+
+
+def run(widths: Sequence[int] = WIDTHS,
+        freqs_mhz: Sequence[float] = FREQS_MHZ,
+        cycles: int = 150) -> List[SweepPoint]:
+    return sweep_grid(QSFP_AURORA, widths, freqs_mhz, cycles=cycles)
+
+
+def format_table(points: Sequence[SweepPoint]) -> str:
+    return format_sweep(points)
+
+
+def peak_rate_mhz(points: Sequence[SweepPoint]) -> float:
+    """Best achieved rate across the sweep (paper: ~1.6 MHz)."""
+    return max(p.measured_hz for p in points) / 1e6

@@ -1,0 +1,31 @@
+"""Fig. 12: peer-to-peer PCIe performance sweeps (AWS EC2 F1).
+
+Same grid as Fig. 11, over the peer-to-peer PCIe transport.  Claims to
+preserve: the characteristics mirror the QSFP sweep (flat exact-mode,
+~2x fast-mode that fades with width), with overall rates ~1.5x lower
+than the on-premises QSFP setup due to the higher link latency; peak
+~1 MHz.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..platform.transport import PCIE_P2P
+from .sweeps import SweepPoint, format_sweep, sweep_grid
+from .fig11 import FREQS_MHZ, WIDTHS
+
+
+def run(widths: Sequence[int] = WIDTHS,
+        freqs_mhz: Sequence[float] = FREQS_MHZ,
+        cycles: int = 150) -> List[SweepPoint]:
+    return sweep_grid(PCIE_P2P, widths, freqs_mhz, cycles=cycles)
+
+
+def format_table(points: Sequence[SweepPoint]) -> str:
+    return format_sweep(points)
+
+
+def peak_rate_mhz(points: Sequence[SweepPoint]) -> float:
+    """Best achieved rate across the sweep (paper: ~1 MHz)."""
+    return max(p.measured_hz for p in points) / 1e6

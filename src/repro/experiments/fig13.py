@@ -1,0 +1,76 @@
+"""Fig. 13: simulation rate vs the number of FPGAs in a ring.
+
+A six-tile ring-NoC SoC is split across 2-5 FPGAs with
+NoC-partition-mode; the interface width stays constant (it is always one
+ring hop), but the paper measures a mild rate degradation as FPGAs are
+added "due to minor timing issues regarding token exchange".  We model
+that slack as a per-target-cycle advance overhead that grows with the
+ring size (:data:`~repro.harness.analytic.RING_SYNC_JITTER_NS` per
+FPGA beyond two), applied identically in the co-simulation's timing
+overlay and the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..fireripper import FAST, FireRipper, NoCPartitionSpec, PartitionSpec
+from ..harness.analytic import RING_SYNC_JITTER_NS, analytic_rate_hz
+from ..platform.transport import QSFP_AURORA
+from ..targets.noc import flit_width
+from ..targets.soc import make_ring_noc_soc
+
+#: router groups for each FPGA count (6 tiles + 1 hub = 7 routers; the
+#: base partition always keeps the hub router)
+ROUTER_GROUPS: Dict[int, List[List[int]]] = {
+    2: [[0, 1, 2, 3, 4, 5]],
+    3: [[0, 1, 2], [3, 4, 5]],
+    4: [[0, 1], [2, 3], [4, 5]],
+    5: [[0, 1], [2, 3], [4], [5]],
+}
+
+
+@dataclass
+class FpgaCountPoint:
+    """One bar of Fig. 13."""
+
+    n_fpgas: int
+    host_freq_mhz: float
+    measured_hz: float
+    predicted_hz: float
+
+
+def run(fpga_counts: Sequence[int] = (2, 3, 4, 5),
+        freqs_mhz: Sequence[float] = (30.0, 90.0),
+        cycles: int = 120) -> List[FpgaCountPoint]:
+    """Measure the ring co-simulation rate per FPGA count and frequency."""
+    points: List[FpgaCountPoint] = []
+    for freq in freqs_mhz:
+        for n in fpga_counts:
+            circuit = make_ring_noc_soc(6, messages_per_tile=4)
+            spec = PartitionSpec(
+                mode=FAST,
+                noc=NoCPartitionSpec.make(ROUTER_GROUPS[n]))
+            design = FireRipper(spec).compile(circuit)
+            overhead = max(0, n - 2) * RING_SYNC_JITTER_NS
+            sim = design.build_simulation(
+                QSFP_AURORA, host_freq_mhz=freq,
+                advance_overhead_ns=overhead)
+            result = sim.run(cycles)
+            width = flit_width(7) + 2  # flit + valid + credit
+            predicted = analytic_rate_hz(FAST, width, QSFP_AURORA, freq,
+                                         num_fpgas=n)
+            points.append(FpgaCountPoint(n, freq, result.rate_hz,
+                                         predicted))
+    return points
+
+
+def format_table(points: Sequence[FpgaCountPoint]) -> str:
+    lines = [f"{'FPGAs':>6}{'freq(MHz)':>11}{'measured(MHz)':>15}"
+             f"{'analytic(MHz)':>15}"]
+    for p in points:
+        lines.append(f"{p.n_fpgas:>6}{p.host_freq_mhz:>11.0f}"
+                     f"{p.measured_hz / 1e6:>15.3f}"
+                     f"{p.predicted_hz / 1e6:>15.3f}")
+    return "\n".join(lines)

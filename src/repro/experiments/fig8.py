@@ -1,0 +1,36 @@
+"""Fig. 8: CPI stacks for Large BOOM vs GC40 BOOM.
+
+The paper integrates the TIP profiler into FireAxe and plots where each
+core spends its cycles for a selected set of Embench benchmarks; our
+pipeline model's commit-gap attribution provides the same
+time-proportional stacks.  The claims to preserve: ``nettle-aes`` is
+dominated by frontend/base commit pressure that GC40's doubled width
+relieves, while ``nbody`` stalls on execution hazards that extra width
+does not help.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..uarch.cpistack import CPIStack, cpi_stacks, render_stacks
+from ..uarch.params import GC40_BOOM, LARGE_BOOM
+from ..uarch.workloads import EMBENCH_BY_NAME, Workload
+
+#: the benchmark subset shown in the paper's Fig. 8 (chosen to span the
+#: performance-change range)
+SELECTED = ("nettle-aes", "nbody", "crc32", "huffbench", "edn",
+            "nsichneu")
+
+
+def run(benchmarks: Sequence[str] = SELECTED,
+        n_instr: int = 40_000, seed: int = 7) -> List[CPIStack]:
+    """CPI stacks for the selected benchmarks on both BOOM variants."""
+    workloads: List[Workload] = [EMBENCH_BY_NAME[name]
+                                 for name in benchmarks]
+    return cpi_stacks([LARGE_BOOM, GC40_BOOM], workloads,
+                      n_instr=n_instr, seed=seed)
+
+
+def format_table(stacks: Sequence[CPIStack]) -> str:
+    return render_stacks(list(stacks))

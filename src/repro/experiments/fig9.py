@@ -1,0 +1,49 @@
+"""Fig. 9: the leaky-DMA effect vs forwarding-core count and topology.
+
+Sweeps 1-12 forwarding cores for crossbar and ring interconnects and
+reports the NIC's average request-to-response read/write latencies, as
+measured by the in-NIC counters.  Claims to preserve: both latencies
+grow with core count as the DDIO ways thrash; the crossbar is cheaper
+per transaction under low load but its write latency grows much faster
+past ~6 cores than the ring's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..uarch.ddio import RING, XBAR, LeakyDMAResult, sweep
+
+CORE_COUNTS = (1, 2, 4, 6, 8, 10, 12)
+
+
+def run(core_counts: Sequence[int] = CORE_COUNTS,
+        packets_per_core: int = 300) -> List[LeakyDMAResult]:
+    """The Fig. 9 grid: (topology x core count)."""
+    return sweep(list(core_counts), topologies=(XBAR, RING),
+                 packets_per_core=packets_per_core)
+
+
+def format_table(results: Sequence[LeakyDMAResult]) -> str:
+    lines = [f"{'topology':<8}{'cores':>6}{'Rd Lat (ns)':>13}"
+             f"{'Wr Lat (ns)':>13}{'IO rd hit':>11}{'CPU hit':>9}"]
+    for r in results:
+        lines.append(
+            f"{r.topology:<8}{r.n_cores:>6}{r.nic_read_latency_ns:>13.1f}"
+            f"{r.nic_write_latency_ns:>13.1f}{r.io_read_hit_rate:>11.2f}"
+            f"{r.cpu_hit_rate:>9.2f}")
+    return "\n".join(lines)
+
+
+def crossover_core_count(results: Sequence[LeakyDMAResult]) -> int:
+    """First core count at which the crossbar's write latency exceeds the
+    ring's (the paper's ~6-core crossover)."""
+    by_key = {(r.topology, r.n_cores): r for r in results}
+    counts = sorted({r.n_cores for r in results})
+    for n in counts:
+        xbar = by_key.get((XBAR, n))
+        ring = by_key.get((RING, n))
+        if xbar and ring and xbar.nic_write_latency_ns \
+                > ring.nic_write_latency_ns:
+            return n
+    return -1

@@ -1,0 +1,94 @@
+"""Run every experiment and print the paper's tables/series.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig11 t2   # a subset (prefix matching)
+
+Results print to stdout in the same rows/series the paper reports;
+pass ``--out DIR`` to also write one ``.txt`` file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import (
+    casestudy_24core,
+    casestudy_gc40,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table2,
+)
+
+#: name -> zero-argument callable producing formatted text
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": lambda: table1.format_table(table1.run()),
+    "table2": lambda: table2.format_table(table2.run()),
+    "fig7": lambda: fig7.format_table(fig7.run()),
+    "fig8": lambda: fig8.format_table(fig8.run()),
+    "fig9": lambda: fig9.format_table(fig9.run()),
+    "fig10": lambda: fig10.format_table(fig10.run()),
+    "fig11": lambda: fig11.format_table(fig11.run()),
+    "fig12": lambda: fig12.format_table(fig12.run()),
+    "fig13": lambda: fig13.format_table(fig13.run()),
+    "fig14": lambda: fig14.format_table(fig14.run()),
+    "casestudy_24core":
+        lambda: casestudy_24core.format_table(casestudy_24core.run()),
+    "casestudy_gc40":
+        lambda: casestudy_gc40.format_table(casestudy_gc40.run()),
+}
+
+
+def select(patterns: List[str]) -> List[str]:
+    """Experiment names matching any prefix pattern (all when empty)."""
+    if not patterns:
+        return list(EXPERIMENTS)
+    chosen = []
+    for name in EXPERIMENTS:
+        if any(name.startswith(p) for p in patterns):
+            chosen.append(name)
+    return chosen
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the FireAxe paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment name prefixes (default: all)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for per-experiment .txt outputs")
+    args = parser.parse_args(argv)
+
+    names = select(args.experiments)
+    if not names:
+        print(f"no experiments match {args.experiments}; "
+              f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        start = time.time()
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        text = EXPERIMENTS[name]()
+        print(text)
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

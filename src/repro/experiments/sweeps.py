@@ -1,0 +1,85 @@
+"""Shared machinery for the performance sweeps (Figs. 11-14).
+
+``measure_rate`` runs an actual token-level partitioned co-simulation of
+a width-parametric target under a transport model and reports the
+achieved target frequency; ``predicted_rate`` is the closed-form model.
+Figures use both: the co-simulation is the measurement, the analytic
+model is FireRipper's compile-time feedback, and tests assert they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fireripper import EXACT, FAST, FireRipper, PartitionGroup, PartitionSpec
+from ..harness.analytic import analytic_rate_hz
+from ..platform.transport import TransportModel
+from ..targets.soc import make_wide_pair
+
+
+@dataclass
+class SweepPoint:
+    """One point of a performance sweep."""
+
+    mode: str
+    width_bits: int
+    host_freq_mhz: float
+    transport: str
+    measured_hz: float
+    predicted_hz: float
+
+    @property
+    def measured_mhz(self) -> float:
+        return self.measured_hz / 1e6
+
+
+def measure_rate(width: int, mode: str, transport: TransportModel,
+                 host_freq_mhz: float, cycles: int = 150) -> float:
+    """Achieved simulation rate (Hz) for a two-FPGA partition whose
+    boundary carries ``width`` bits in each direction."""
+    circuit = make_wide_pair(width, comb_boundary=(mode == EXACT))
+    spec = PartitionSpec(mode=mode, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    design = FireRipper(spec).compile(circuit)
+    sim = design.build_simulation(transport, host_freq_mhz=host_freq_mhz)
+    result = sim.run(cycles)
+    return result.rate_hz
+
+
+def sweep_grid(transport: TransportModel,
+               widths: Sequence[int],
+               freqs_mhz: Sequence[float],
+               modes: Sequence[str] = (EXACT, FAST),
+               cycles: int = 150) -> List[SweepPoint]:
+    """The Fig. 11/12 grid: mode x width x bitstream frequency."""
+    points: List[SweepPoint] = []
+    for mode in modes:
+        for freq in freqs_mhz:
+            for width in widths:
+                measured = measure_rate(width, mode, transport, freq,
+                                        cycles=cycles)
+                predicted = analytic_rate_hz(mode, width, transport, freq)
+                points.append(SweepPoint(mode, width, freq,
+                                         transport.name, measured,
+                                         predicted))
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    lines = [f"{'mode':<7}{'freq(MHz)':>10}{'width(b)':>10}"
+             f"{'measured(MHz)':>15}{'analytic(MHz)':>15}"]
+    for p in points:
+        lines.append(f"{p.mode:<7}{p.host_freq_mhz:>10.0f}"
+                     f"{p.width_bits:>10}{p.measured_hz / 1e6:>15.3f}"
+                     f"{p.predicted_hz / 1e6:>15.3f}")
+    return "\n".join(lines)
+
+
+def fast_over_exact_speedup(points: Sequence[SweepPoint],
+                            width: int, freq: float) -> float:
+    """Fast-mode speedup over exact-mode at one grid point."""
+    by_key = {(p.mode, p.width_bits, p.host_freq_mhz): p for p in points}
+    fast = by_key[(FAST, width, freq)]
+    exact = by_key[(EXACT, width, freq)]
+    return fast.measured_hz / exact.measured_hz

@@ -1,0 +1,64 @@
+"""Table I: microarchitectural parameters and core areas (Sec. V-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..uarch.params import (
+    CoreParams,
+    GC40_BOOM,
+    GC_XEON,
+    LARGE_BOOM,
+    PUBLISHED_AREA_MM2,
+)
+
+_ROWS = [
+    ("Issue width", "issue_width"),
+    ("ROB entries", "rob_entries"),
+    ("I-Phys Regs", "int_phys_regs"),
+    ("F-Phys Regs", "fp_phys_regs"),
+    ("Ld queue entries", "ld_queue"),
+    ("St queue entries", "st_queue"),
+    ("Fetch buffer entries", "fetch_buffer"),
+    ("L1-I (kB)", "l1i_kib"),
+    ("L1-D (kB)", "l1d_kib"),
+]
+
+CORES = (LARGE_BOOM, GC40_BOOM, GC_XEON)
+
+
+@dataclass
+class Table1Result:
+    """Parameter table plus modelled vs published areas."""
+
+    cores: List[CoreParams]
+    modeled_area_mm2: Dict[str, float]
+    published_area_mm2: Dict[str, float]
+
+
+def run() -> Table1Result:
+    """Assemble Table I (pure data; the area model prices BOOM variants)."""
+    modeled = {c.name: c.area_mm2() for c in (LARGE_BOOM, GC40_BOOM)}
+    return Table1Result(
+        cores=list(CORES),
+        modeled_area_mm2=modeled,
+        published_area_mm2=dict(PUBLISHED_AREA_MM2),
+    )
+
+
+def format_table(result: Table1Result) -> str:
+    lines = [f"{'':<24}" + "".join(f"{c.name:>14}" for c in result.cores)]
+    for label, attr in _ROWS:
+        row = f"{label:<24}"
+        for c in result.cores:
+            row += f"{getattr(c, attr):>14}"
+        lines.append(row)
+    lines.append("")
+    lines.append(f"{'area (paper, mm^2)':<24}" + "".join(
+        f"{result.published_area_mm2[c.name]:>14.2f}"
+        for c in result.cores))
+    lines.append(f"{'area (model, mm^2)':<24}" + "".join(
+        f"{result.modeled_area_mm2.get(c.name, float('nan')):>14.2f}"
+        for c in result.cores))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Table II: simulator validation — cycle counts of monolithic FireSim
+simulations vs exact-mode and fast-mode partitioned simulations.
+
+Three targets, as in the paper:
+
+* a Rocket-like core tile booting a workload and streaming to the SoC
+  subsystem (partition point: the tile),
+* a Sha3-like accelerator whose operation is memory-latency-bound
+  (the most fast-mode-sensitive target),
+* a Gemmini-like accelerator whose operation is compute-bound over a
+  local scratchpad (the least sensitive).
+
+Expectations: exact-mode matches monolithic cycle-for-cycle ("No Error");
+fast-mode deviates by a workload-dependent amount, largest for Sha3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..firrtl.circuit import Circuit
+from ..fireripper import EXACT, FAST, FireRipper, PartitionGroup, PartitionSpec
+from ..harness import MonolithicSimulation, cycle_count_error_pct
+from ..platform import QSFP_AURORA
+from ..targets.accel import make_gemmini_soc, make_sha3_soc
+from ..targets.soc import make_rocket_like_soc
+
+
+@dataclass
+class ValidationRow:
+    """One row of Table II."""
+
+    name: str
+    monolithic_cycles: int
+    exact_cycles: int
+    fast_cycles: int
+
+    @property
+    def exact_error_pct(self) -> float:
+        return cycle_count_error_pct(self.monolithic_cycles,
+                                     self.exact_cycles)
+
+    @property
+    def fast_error_pct(self) -> float:
+        return cycle_count_error_pct(self.monolithic_cycles,
+                                     self.fast_cycles)
+
+
+#: (row name, circuit factory, instance path to extract, done output)
+TARGETS: List[Tuple[str, Callable[[], Circuit], str]] = [
+    ("Rocket tile (boot)", lambda: make_rocket_like_soc(40, 8),
+     "rockettile"),
+    ("Sha3Accel (encryption)", lambda: make_sha3_soc(40, 6), "sha3accel"),
+    ("Gemmini (convolution)", lambda: make_gemmini_soc(6), "gemminiaccel"),
+]
+
+
+def measure_partitioned_cycles(circuit: Circuit, extract_path: str,
+                               mode: str, max_cycles: int = 100_000) -> int:
+    """Cycles until ``done`` in a 2-FPGA partitioned co-simulation."""
+    spec = PartitionSpec(mode=mode, groups=[
+        PartitionGroup.make("fpga1", [extract_path])])
+    design = FireRipper(spec).compile(circuit)
+    sim = design.build_simulation(QSFP_AURORA, record_outputs=True)
+
+    def stop(s) -> bool:
+        log = s.output_log.get(("base", "io_out"), [])
+        return bool(log) and log[-1]["done"] == 1
+
+    sim.run(max_cycles, stop=stop)
+    log = sim.output_log[("base", "io_out")]
+    for cycle, token in enumerate(log):
+        if token["done"]:
+            return cycle
+    raise SimulationError("done never observed in partitioned run")
+
+
+def run(max_cycles: int = 100_000) -> List[ValidationRow]:
+    """Run the full validation grid."""
+    rows: List[ValidationRow] = []
+    for name, factory, path in TARGETS:
+        circuit = factory()
+        mono = MonolithicSimulation(circuit)
+        mono_cycles = mono.run_until("done", 1,
+                                     max_cycles=max_cycles).target_cycles
+        exact = measure_partitioned_cycles(factory(), path, EXACT,
+                                           max_cycles)
+        fast = measure_partitioned_cycles(factory(), path, FAST,
+                                          max_cycles)
+        rows.append(ValidationRow(name, mono_cycles, exact, fast))
+    return rows
+
+
+def format_table(rows: List[ValidationRow]) -> str:
+    lines = [f"{'target':<26}{'monolithic':>12}{'exact |err|%':>14}"
+             f"{'fast |err|%':>13}"]
+    for r in rows:
+        exact = ("No Error" if r.exact_error_pct == 0
+                 else f"{r.exact_error_pct:.2f}")
+        lines.append(f"{r.name:<26}{r.monolithic_cycles:>12}"
+                     f"{exact:>14}{r.fast_error_pct:>13.2f}")
+    return "\n".join(lines)

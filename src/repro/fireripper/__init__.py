@@ -1,0 +1,43 @@
+"""FireRipper: FireAxe's partitioning compiler (Sec. III of the paper).
+
+Given a partition specification — a mode (*exact* or *fast*), and either
+explicit module-instance groups or NoC router-index groups — FireRipper
+rewrites a monolithic circuit into per-FPGA partition circuits, classifies
+every boundary port by combinational dependency, enforces the exact-mode
+chain-length rule, applies the fast-mode target modifications (skid
+buffers, ``valid & ready`` gating), and emits the LI-BDN channel plan plus
+a user-facing report of interface widths and expected performance.
+"""
+
+from .spec import (
+    FAST,
+    EXACT,
+    NoCPartitionSpec,
+    PartitionGroup,
+    PartitionSpec,
+)
+from .extract import extract_partitions, remove_modules, ExtractedDesign
+from .boundary import BoundaryNet, BoundaryPlan, plan_boundaries
+from .autopartition import AutoPartitionResult, auto_partition, build_instance_graph
+from .compiler import FireRipper, PartitionedDesign
+from .report import PartitionReport
+
+__all__ = [
+    "EXACT",
+    "FAST",
+    "PartitionSpec",
+    "PartitionGroup",
+    "NoCPartitionSpec",
+    "extract_partitions",
+    "remove_modules",
+    "ExtractedDesign",
+    "BoundaryNet",
+    "BoundaryPlan",
+    "plan_boundaries",
+    "FireRipper",
+    "PartitionedDesign",
+    "auto_partition",
+    "AutoPartitionResult",
+    "build_instance_graph",
+    "PartitionReport",
+]

@@ -1,0 +1,99 @@
+"""Module selection: explicit instance lists and NoC-partition-mode.
+
+The default selection mode is a per-FPGA list of instance paths.  The
+NoC-partition-mode (Sec. III-B, Fig. 4) instead takes router-node indices:
+FireRipper finds the named router instances, then grows each group with
+the modules that are wired (transitively) to the group's routers but touch
+no router outside the group — picking up protocol converters and the tiles
+behind them automatically, which is how the 24-core SoC is split across
+five FPGAs with nothing but ``[[0..5], [6..11], ...]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SelectionError
+from ..firrtl.circuit import Circuit, Module
+from ..firrtl.passes.connectivity import connected_closure
+from .spec import NoCPartitionSpec, PartitionGroup
+
+
+def select_explicit(circuit: Circuit,
+                    groups: Sequence[PartitionGroup]
+                    ) -> Dict[str, List[str]]:
+    """Validate and normalize explicit group selections."""
+    out: Dict[str, List[str]] = {}
+    for g in groups:
+        out[g.name] = list(g.instance_paths)
+    return out
+
+
+def _find_noc_parent(circuit: Circuit, prefix: str
+                     ) -> Tuple[Module, str]:
+    """Locate the module hosting the router instances and its hierarchical
+    path prefix from the top (empty when the routers live in the top)."""
+    pattern = re.compile(re.escape(prefix) + r"\d+$")
+
+    def routers_in(module: Module) -> int:
+        return sum(1 for i in module.instances()
+                   if pattern.fullmatch(i.name))
+
+    best: Optional[str] = None
+    for name, module in circuit.modules.items():
+        if routers_in(module) and (best is None
+                                   or routers_in(module)
+                                   > routers_in(circuit.module(best))):
+            best = name
+    if best is None:
+        raise SelectionError(
+            f"no instances matching {prefix!r}<index> found in any module")
+    if best == circuit.top:
+        return circuit.top_module, ""
+    paths = circuit.instance_paths(best)
+    if not paths:
+        raise SelectionError(
+            f"module {best!r} hosts the routers but is never instantiated")
+    if len(paths) > 1:
+        raise SelectionError(
+            f"module {best!r} hosting the routers is instantiated "
+            f"{len(paths)} times; NoC-partition-mode needs a unique parent")
+    return circuit.module(best), paths[0] + "."
+
+
+def select_noc(circuit: Circuit, spec: NoCPartitionSpec
+               ) -> Dict[str, List[str]]:
+    """NoC-partition-mode selection from router indices (Fig. 4).
+
+    For every group: seed with the named routers, then repeatedly absorb
+    instances wired to the group that are not wired to any router outside
+    it.  Groups must come out disjoint.
+    """
+    parent, path_prefix = _find_noc_parent(circuit, spec.router_prefix)
+    inst_names = {i.name for i in parent.instances()}
+    pattern = re.compile(re.escape(spec.router_prefix) + r"(\d+)$")
+    all_routers = {name for name in inst_names if pattern.fullmatch(name)}
+
+    out: Dict[str, List[str]] = {}
+    claimed: Dict[str, str] = {}
+    for gi, indices in enumerate(spec.router_groups):
+        gname = f"noc{gi}"
+        seeds: Set[str] = set()
+        for idx in indices:
+            rname = f"{spec.router_prefix}{idx}"
+            if rname not in inst_names:
+                raise SelectionError(
+                    f"router index {idx} ({rname!r}) not found in "
+                    f"{parent.name}")
+            seeds.add(rname)
+        blockers = all_routers - seeds
+        closure = connected_closure(parent, seeds, blockers)
+        for inst in sorted(closure):
+            if inst in claimed:
+                raise SelectionError(
+                    f"instance {inst!r} selected by both {claimed[inst]!r} "
+                    f"and {gname!r}; split the router groups differently")
+            claimed[inst] = gname
+        out[gname] = [path_prefix + inst for inst in sorted(closure)]
+    return out

@@ -1,0 +1,100 @@
+"""Partition specifications: what the user hands FireRipper.
+
+Mirrors the user-facing knobs of Sec. III: the partitioning mode, the
+number of FPGAs and which modules go on each, and (for NoC-based SoCs) the
+router-index shorthand of NoC-partition-mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SelectionError
+
+#: cycle-exact partitioning; boundary combinational logic allowed up to a
+#: dependency-chain length of two; two link crossings per target cycle.
+EXACT = "exact"
+#: cycle-approximate partitioning for latency-insensitive boundaries;
+#: seed tokens + target modifications; one link crossing per target cycle.
+FAST = "fast"
+
+_MODES = (EXACT, FAST)
+
+
+@dataclass(frozen=True)
+class PartitionGroup:
+    """One extracted partition: a name and the instance paths it pulls out
+    of the module hierarchy (dot-separated, rooted at the top module)."""
+
+    name: str
+    instance_paths: Tuple[str, ...]
+
+    @staticmethod
+    def make(name: str, paths: Sequence[str]) -> "PartitionGroup":
+        return PartitionGroup(name, tuple(paths))
+
+
+@dataclass(frozen=True)
+class NoCPartitionSpec:
+    """NoC-partition-mode selection (Sec. III-B).
+
+    Instead of explicit module lists, the user names the NoC router-node
+    indices that should be grouped on each FPGA; FireRipper collects the
+    protocol converters and tiles hanging off those routers automatically.
+
+    Args:
+        router_groups: one tuple of router indices per extracted partition.
+        router_prefix: instance-name prefix of router nodes (``router3``).
+    """
+
+    router_groups: Tuple[Tuple[int, ...], ...]
+    router_prefix: str = "router"
+
+    @staticmethod
+    def make(groups: Sequence[Sequence[int]],
+             router_prefix: str = "router") -> "NoCPartitionSpec":
+        return NoCPartitionSpec(tuple(tuple(g) for g in groups),
+                                router_prefix)
+
+
+@dataclass
+class PartitionSpec:
+    """Everything FireRipper needs to compile a partitioned simulation.
+
+    Exactly one of ``groups`` / ``noc`` must be given.  The base partition
+    (whatever is not extracted) is always produced and is named
+    ``base_name``.
+    """
+
+    mode: str = EXACT
+    groups: Optional[List[PartitionGroup]] = None
+    noc: Optional[NoCPartitionSpec] = None
+    base_name: str = "base"
+    #: ready-valid bundle prefixes crossing the boundary (fast-mode target
+    #: modifications); None means auto-detect via the _valid/_ready/_bits
+    #: naming convention.
+    rv_bundles: Optional[List[str]] = None
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise SelectionError(
+                f"unknown partition mode {self.mode!r}; pick one of {_MODES}")
+        if (self.groups is None) == (self.noc is None):
+            raise SelectionError(
+                "specify exactly one of groups= or noc= in PartitionSpec")
+        if self.groups is not None:
+            names = [g.name for g in self.groups]
+            if len(set(names)) != len(names):
+                raise SelectionError(f"duplicate group names in {names}")
+            if self.base_name in names:
+                raise SelectionError(
+                    f"group name {self.base_name!r} collides with the base "
+                    f"partition")
+
+    @property
+    def num_fpgas(self) -> int:
+        """Total FPGA count: extracted groups plus the base partition."""
+        n = len(self.groups) if self.groups is not None \
+            else len(self.noc.router_groups)
+        return n + 1

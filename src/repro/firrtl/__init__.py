@@ -1,0 +1,79 @@
+"""FIRRTL-like intermediate representation for digital circuits.
+
+This package is the substrate everything else builds on: the AST
+(:mod:`~repro.firrtl.ast`), module/circuit containers
+(:mod:`~repro.firrtl.circuit`), an authoring DSL
+(:mod:`~repro.firrtl.builder`), a text printer/parser, and the analysis
+passes FireRipper relies on (:mod:`~repro.firrtl.passes`).
+"""
+
+from . import ast
+from .ast import (
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    INPUT,
+    InstPort,
+    InstTarget,
+    Lit,
+    LocalTarget,
+    MemReadPort,
+    MemWritePort,
+    OUTPUT,
+    Port,
+    PrimOp,
+    Ref,
+)
+from .builder import (
+    Connectable,
+    ModuleBuilder,
+    RVBundle,
+    Signal,
+    build_circuit,
+    cat,
+    make_circuit,
+    mux,
+)
+from .circuit import Circuit, Module
+from .parser import parse_circuit
+from .printer import print_circuit, print_expr, print_module
+
+__all__ = [
+    "ast",
+    "Circuit",
+    "Module",
+    "ModuleBuilder",
+    "Connectable",
+    "RVBundle",
+    "Signal",
+    "mux",
+    "cat",
+    "build_circuit",
+    "make_circuit",
+    "parse_circuit",
+    "print_circuit",
+    "print_module",
+    "print_expr",
+    "Connect",
+    "DefInstance",
+    "DefMemory",
+    "DefNode",
+    "DefRegister",
+    "DefWire",
+    "Expr",
+    "INPUT",
+    "OUTPUT",
+    "InstPort",
+    "InstTarget",
+    "Lit",
+    "LocalTarget",
+    "MemReadPort",
+    "MemWritePort",
+    "Port",
+    "PrimOp",
+    "Ref",
+]

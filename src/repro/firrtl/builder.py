@@ -1,0 +1,477 @@
+"""Authoring DSL for the FIRRTL-like IR.
+
+:class:`ModuleBuilder` provides Chisel-flavoured ergonomics on top of the
+raw AST: operator-overloaded signals, automatic literal coercion, automatic
+pad/truncate on connect, register/memory/instance helpers, and ready-valid
+bundle sugar (the ``<prefix>_valid`` / ``<prefix>_ready`` / ``<prefix>_bits``
+naming convention is what FireRipper's fast-mode uses to recognize
+latency-insensitive boundaries).
+
+Width rules (simplified FIRRTL):
+
+========== =============================
+op          result width
+========== =============================
+add, sub    max(w1, w2) + 1
+mul         w1 + w2
+div         w1
+rem         min(w1, w2)
+and/or/xor  max(w1, w2)
+not         w
+cat         w1 + w2
+mux         max(w1, w2)
+cmp ops     1
+shl n       w + n
+shr n       max(w - n, 1)
+dshl/dshr   w1  (self-truncating; deviation from FIRRTL, documented)
+bits hi,lo  hi - lo + 1
+pad n       max(w, n)
+reductions  1
+========== =============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import IRError
+from .ast import (
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    INPUT,
+    InstPort,
+    InstTarget,
+    Lit,
+    LocalTarget,
+    MemReadPort,
+    MemWritePort,
+    OUTPUT,
+    Port,
+    PrimOp,
+    Ref,
+)
+from .circuit import Circuit, Module
+
+SignalLike = Union["Signal", int]
+
+
+def _coerce(value: SignalLike, width_hint: Optional[int] = None) -> Expr:
+    """Turn an int into a literal (using ``width_hint`` or the value's own
+    minimal width), or unwrap a Signal."""
+    if isinstance(value, Signal):
+        return value.expr
+    if isinstance(value, Connectable):
+        return value.read().expr
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        if value < 0:
+            raise IRError("negative literals are not supported; use sub")
+        natural = max(value.bit_length(), 1)
+        width = width_hint if width_hint and width_hint >= natural else natural
+        return Lit(value, width)
+    raise IRError(f"cannot use {value!r} as a signal")
+
+
+class Signal:
+    """Expression wrapper with operators.  Returned by builder helpers."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    @property
+    def width(self) -> int:
+        return self.expr.width
+
+    # -- binary helpers ----------------------------------------------------
+
+    def _bin(self, op: str, other: SignalLike, width) -> "Signal":
+        rhs = _coerce(other, self.width)
+        return Signal(PrimOp(op, (self.expr, rhs), width(self.width,
+                                                         rhs.width)))
+
+    def __add__(self, other: SignalLike) -> "Signal":
+        return self._bin("add", other, lambda a, b: max(a, b) + 1)
+
+    def __sub__(self, other: SignalLike) -> "Signal":
+        return self._bin("sub", other, lambda a, b: max(a, b) + 1)
+
+    def __mul__(self, other: SignalLike) -> "Signal":
+        return self._bin("mul", other, lambda a, b: a + b)
+
+    def __floordiv__(self, other: SignalLike) -> "Signal":
+        return self._bin("div", other, lambda a, b: a)
+
+    def __mod__(self, other: SignalLike) -> "Signal":
+        return self._bin("rem", other, lambda a, b: min(a, b))
+
+    def __and__(self, other: SignalLike) -> "Signal":
+        return self._bin("and", other, lambda a, b: max(a, b))
+
+    def __or__(self, other: SignalLike) -> "Signal":
+        return self._bin("or", other, lambda a, b: max(a, b))
+
+    def __xor__(self, other: SignalLike) -> "Signal":
+        return self._bin("xor", other, lambda a, b: max(a, b))
+
+    def __invert__(self) -> "Signal":
+        return Signal(PrimOp("not", (self.expr,), self.width))
+
+    # -- comparisons (named methods; Python's rich-compare protocol would
+    #    interfere with use in sets/dicts) ---------------------------------
+
+    def eq(self, other: SignalLike) -> "Signal":
+        return self._bin("eq", other, lambda a, b: 1)
+
+    def neq(self, other: SignalLike) -> "Signal":
+        return self._bin("neq", other, lambda a, b: 1)
+
+    def lt(self, other: SignalLike) -> "Signal":
+        return self._bin("lt", other, lambda a, b: 1)
+
+    def leq(self, other: SignalLike) -> "Signal":
+        return self._bin("leq", other, lambda a, b: 1)
+
+    def gt(self, other: SignalLike) -> "Signal":
+        return self._bin("gt", other, lambda a, b: 1)
+
+    def geq(self, other: SignalLike) -> "Signal":
+        return self._bin("geq", other, lambda a, b: 1)
+
+    # -- structural ops ----------------------------------------------------
+
+    def cat(self, other: SignalLike) -> "Signal":
+        """Concatenate: ``self`` becomes the high bits."""
+        rhs = _coerce(other)
+        return Signal(PrimOp("cat", (self.expr, rhs),
+                             self.width + rhs.width))
+
+    def bits(self, hi: int, lo: int = 0) -> "Signal":
+        if not (0 <= lo <= hi < self.width):
+            raise IRError(
+                f"bits({hi},{lo}) out of range for width {self.width}"
+            )
+        return Signal(PrimOp("bits", (self.expr,), hi - lo + 1,
+                             params=(hi, lo)))
+
+    def bit(self, i: int) -> "Signal":
+        return self.bits(i, i)
+
+    def pad(self, width: int) -> "Signal":
+        if width <= self.width:
+            return self
+        return Signal(PrimOp("pad", (self.expr,), width, params=(width,)))
+
+    def trunc(self, width: int) -> "Signal":
+        if width >= self.width:
+            return self
+        return self.bits(width - 1, 0)
+
+    def fit(self, width: int) -> "Signal":
+        """Pad or truncate to exactly ``width`` bits."""
+        if self.width == width:
+            return self
+        return self.pad(width) if self.width < width else self.trunc(width)
+
+    def shl(self, n: int) -> "Signal":
+        return Signal(PrimOp("shl", (self.expr,), self.width + n,
+                             params=(n,)))
+
+    def shr(self, n: int) -> "Signal":
+        return Signal(PrimOp("shr", (self.expr,), max(self.width - n, 1),
+                             params=(n,)))
+
+    def dshl(self, amount: SignalLike) -> "Signal":
+        rhs = _coerce(amount)
+        return Signal(PrimOp("dshl", (self.expr, rhs), self.width))
+
+    def dshr(self, amount: SignalLike) -> "Signal":
+        rhs = _coerce(amount)
+        return Signal(PrimOp("dshr", (self.expr, rhs), self.width))
+
+    def andr(self) -> "Signal":
+        return Signal(PrimOp("andr", (self.expr,), 1))
+
+    def orr(self) -> "Signal":
+        return Signal(PrimOp("orr", (self.expr,), 1))
+
+    def xorr(self) -> "Signal":
+        return Signal(PrimOp("xorr", (self.expr,), 1))
+
+    def __repr__(self) -> str:
+        return f"Signal({self.expr})"
+
+
+def mux(sel: Signal, if_true: SignalLike, if_false: SignalLike) -> Signal:
+    """2:1 multiplexer; operands are padded to a common width."""
+    t = _coerce(if_true)
+    f = _coerce(if_false, t.width)
+    t = _coerce(Signal(t).pad(f.width))
+    width = max(t.width, f.width)
+    return Signal(PrimOp("mux", (sel.expr, t, f), width))
+
+
+def cat(*signals: Signal) -> Signal:
+    """Concatenate many signals; the first becomes the highest bits."""
+    if not signals:
+        raise IRError("cat() needs at least one signal")
+    out = signals[0]
+    for s in signals[1:]:
+        out = out.cat(s)
+    return out
+
+
+class RVBundle:
+    """Handle for a ready-valid bundle created by the builder sugar."""
+
+    def __init__(self, valid: "Connectable", ready: "Connectable",
+                 bits: "Connectable"):
+        self.valid = valid
+        self.ready = ready
+        self.bits = bits
+
+    def fire(self) -> Signal:
+        return self.valid.read() & self.ready.read()
+
+
+class Connectable:
+    """A named thing that can be read as a Signal and/or connected.
+
+    Wraps local signals (ports, wires, registers) and instance ports with a
+    uniform interface, so ``builder.connect(x, expr)`` works for all of them.
+    """
+
+    def __init__(self, builder: "ModuleBuilder", target, width: int,
+                 readable: bool = True, writable: bool = True):
+        self._builder = builder
+        self.target = target
+        self.width = width
+        self.readable = readable
+        self.writable = writable
+
+    def read(self) -> Signal:
+        if not self.readable:
+            raise IRError(f"{self.target} is not readable here")
+        if isinstance(self.target, LocalTarget):
+            return Signal(Ref(self.target.name, self.width))
+        return Signal(InstPort(self.target.inst, self.target.port,
+                               self.width))
+
+    # allow Connectable to be used directly in expressions
+    @property
+    def expr(self) -> Expr:
+        return self.read().expr
+
+    def __getattr__(self, item):
+        # delegate operators via Signal
+        return getattr(self.read(), item)
+
+    def __add__(self, o):
+        return self.read() + o
+
+    def __sub__(self, o):
+        return self.read() - o
+
+    def __mul__(self, o):
+        return self.read() * o
+
+    def __and__(self, o):
+        return self.read() & o
+
+    def __or__(self, o):
+        return self.read() | o
+
+    def __xor__(self, o):
+        return self.read() ^ o
+
+    def __invert__(self):
+        return ~self.read()
+
+    def __repr__(self) -> str:
+        return f"Connectable({self.target})"
+
+
+class InstanceHandle:
+    """Handle returned by :meth:`ModuleBuilder.inst`."""
+
+    def __init__(self, builder: "ModuleBuilder", name: str, module: Module):
+        self._builder = builder
+        self.name = name
+        self.module = module
+
+    def io(self, port_name: str) -> Connectable:
+        p = self.module.port(port_name)
+        return Connectable(
+            self._builder, InstTarget(self.name, port_name), p.width,
+            readable=not p.is_input, writable=p.is_input,
+        )
+
+    def __getitem__(self, port_name: str) -> Connectable:
+        return self.io(port_name)
+
+
+class ModuleBuilder:
+    """Builds one :class:`Module` statement by statement."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._ports: List[Port] = []
+        self._stmts: List = []
+        self._names: Dict[str, int] = {}
+        self._instances: Dict[str, Module] = {}
+
+    # -- declaration helpers -----------------------------------------------
+
+    def _declare(self, name: str, kind: str) -> None:
+        if name in self._names:
+            raise IRError(f"{self.name}: {name!r} already declared")
+        self._names[name] = 1
+
+    def input(self, name: str, width: int) -> Connectable:
+        self._declare(name, "input")
+        self._ports.append(Port(name, INPUT, width))
+        return Connectable(self, LocalTarget(name), width, writable=False)
+
+    def output(self, name: str, width: int) -> Connectable:
+        self._declare(name, "output")
+        self._ports.append(Port(name, OUTPUT, width))
+        return Connectable(self, LocalTarget(name), width)
+
+    def wire(self, name: str, width: int) -> Connectable:
+        self._declare(name, "wire")
+        self._stmts.append(DefWire(name, width))
+        return Connectable(self, LocalTarget(name), width)
+
+    def reg(self, name: str, width: int, init: int = 0) -> Connectable:
+        self._declare(name, "reg")
+        self._stmts.append(DefRegister(name, width, init))
+        return Connectable(self, LocalTarget(name), width)
+
+    def node(self, name: str, expr: SignalLike) -> Signal:
+        self._declare(name, "node")
+        e = _coerce(expr)
+        self._stmts.append(DefNode(name, e))
+        return Signal(Ref(name, e.width))
+
+    def mem(self, name: str, depth: int, width: int,
+            init: Optional[Sequence[int]] = None) -> str:
+        self._declare(name, "mem")
+        self._stmts.append(
+            DefMemory(name, depth, width,
+                      tuple(init) if init is not None else None))
+        return name
+
+    def mem_read(self, mem: str, name: str, addr: SignalLike) -> Signal:
+        self._declare(name, "memread")
+        width = self._mem_width(mem)
+        self._stmts.append(MemReadPort(mem, name, _coerce(addr)))
+        return Signal(Ref(name, width))
+
+    def mem_write(self, mem: str, addr: SignalLike, data: SignalLike,
+                  en: SignalLike) -> None:
+        width = self._mem_width(mem)
+        data_expr = Signal(_coerce(data, width)).fit(width).expr
+        en_expr = Signal(_coerce(en, 1)).fit(1).expr
+        self._stmts.append(
+            MemWritePort(mem, _coerce(addr), data_expr, en_expr))
+
+    def _mem_width(self, mem: str) -> int:
+        for s in self._stmts:
+            if isinstance(s, DefMemory) and s.name == mem:
+                return s.width
+        raise IRError(f"{self.name}: unknown memory {mem!r}")
+
+    def inst(self, name: str, module: Module) -> InstanceHandle:
+        self._declare(name, "inst")
+        self._stmts.append(DefInstance(name, module.name))
+        self._instances[name] = module
+        return InstanceHandle(self, name, module)
+
+    def lit(self, value: int, width: Optional[int] = None) -> Signal:
+        return Signal(_coerce(value, width))
+
+    # -- connections ---------------------------------------------------------
+
+    def connect(self, dst: Connectable, src: SignalLike) -> None:
+        """Drive ``dst`` with ``src``, padding/truncating to fit."""
+        if not isinstance(dst, Connectable):
+            raise IRError(f"connect target must be Connectable, got {dst!r}")
+        if not dst.writable:
+            raise IRError(f"{dst.target} is not a legal connect target")
+        sig = Signal(_coerce(src, dst.width)).fit(dst.width)
+        self._stmts.append(Connect(dst.target, sig.expr))
+
+    # -- ready-valid sugar ---------------------------------------------------
+
+    def rv_input(self, prefix: str, width: int) -> RVBundle:
+        """Consumer-side bundle: valid/bits are inputs, ready is an output."""
+        return RVBundle(
+            valid=self.input(f"{prefix}_valid", 1),
+            ready=self.output(f"{prefix}_ready", 1),
+            bits=self.input(f"{prefix}_bits", width),
+        )
+
+    def rv_output(self, prefix: str, width: int) -> RVBundle:
+        """Producer-side bundle: valid/bits are outputs, ready is an input."""
+        return RVBundle(
+            valid=self.output(f"{prefix}_valid", 1),
+            ready=self.input(f"{prefix}_ready", 1),
+            bits=self.output(f"{prefix}_bits", width),
+        )
+
+    # -- finalize ------------------------------------------------------------
+
+    def build(self) -> Module:
+        return Module(self.name, self._ports, self._stmts)
+
+    def submodules(self) -> Dict[str, Module]:
+        """Modules referenced by instances declared through this builder."""
+        return dict(self._instances)
+
+
+def make_circuit(top: Module, library: Iterable[Module]) -> Circuit:
+    """Assemble a circuit from a top module and a module library.
+
+    Only modules transitively instantiated from ``top`` are included; the
+    library may contain unrelated modules (they are ignored).
+    """
+    lib = {m.name: m for m in library}
+    lib[top.name] = top
+    modules: Dict[str, Module] = {}
+
+    def collect(module: Module) -> None:
+        if module.name in modules:
+            return
+        modules[module.name] = module
+        for inst in module.instances():
+            child = lib.get(inst.module)
+            if child is None:
+                raise IRError(
+                    f"module {module.name} instantiates unknown module "
+                    f"{inst.module!r}; add it to the library"
+                )
+            collect(child)
+
+    collect(top)
+    return Circuit(top.name, modules.values())
+
+
+def build_circuit(top_builder: ModuleBuilder,
+                  extra_modules: Iterable[Module] = ()) -> Circuit:
+    """Assemble a circuit from a top-level builder.
+
+    The library is the builder's directly instantiated modules plus
+    ``extra_modules`` (which must cover any deeper levels of hierarchy).
+    """
+    library = list(extra_modules)
+    library.extend(top_builder.submodules().values())
+    return make_circuit(top_builder.build(), library)

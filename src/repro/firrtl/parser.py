@@ -1,0 +1,325 @@
+"""Parser for the FIRRTL-like text format emitted by the printer.
+
+The grammar is line oriented:
+
+.. code-block:: text
+
+    circuit Top :
+      module Top :
+        input a : UInt<8>
+        output b : UInt<8>
+        reg r : UInt<8>, init 0
+        node n = add(a, UInt<1>(1))
+        b <= n
+        r <= b
+
+Expressions use function-call syntax for primitive ops, ``UInt<w>(v)`` for
+literals, bare identifiers for local references, and ``inst.port`` for
+instance ports.  Because reference widths depend on declarations, expression
+parsing happens module-locally after declarations are scanned.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IRError
+from .ast import (
+    Connect,
+    DefInstance,
+    DefMemory,
+    DefNode,
+    DefRegister,
+    DefWire,
+    Expr,
+    InstPort,
+    InstTarget,
+    Lit,
+    LocalTarget,
+    MemReadPort,
+    MemWritePort,
+    PRIM_OPS,
+    Port,
+    PrimOp,
+    Ref,
+)
+from .circuit import Circuit, Module
+
+_TOKEN_RE = re.compile(
+    r"\s*(UInt<\d+>\(\d+\)|[A-Za-z_][A-Za-z_0-9.$]*|\d+|[(),])"
+)
+
+# width rules mirrored from the builder so parsed PrimOps get correct widths
+_WIDTH_RULES = {
+    "add": lambda ws, ps: max(ws) + 1,
+    "sub": lambda ws, ps: max(ws) + 1,
+    "mul": lambda ws, ps: ws[0] + ws[1],
+    "div": lambda ws, ps: ws[0],
+    "rem": lambda ws, ps: min(ws),
+    "and": lambda ws, ps: max(ws),
+    "or": lambda ws, ps: max(ws),
+    "xor": lambda ws, ps: max(ws),
+    "not": lambda ws, ps: ws[0],
+    "eq": lambda ws, ps: 1,
+    "neq": lambda ws, ps: 1,
+    "lt": lambda ws, ps: 1,
+    "leq": lambda ws, ps: 1,
+    "gt": lambda ws, ps: 1,
+    "geq": lambda ws, ps: 1,
+    "mux": lambda ws, ps: max(ws[1], ws[2]),
+    "cat": lambda ws, ps: ws[0] + ws[1],
+    "bits": lambda ws, ps: ps[0] - ps[1] + 1,
+    "shl": lambda ws, ps: ws[0] + ps[0],
+    "shr": lambda ws, ps: max(ws[0] - ps[0], 1),
+    "dshl": lambda ws, ps: ws[0],
+    "dshr": lambda ws, ps: ws[0],
+    "pad": lambda ws, ps: max(ws[0], ps[0]),
+    "andr": lambda ws, ps: 1,
+    "orr": lambda ws, ps: 1,
+    "xorr": lambda ws, ps: 1,
+}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise IRError(f"cannot tokenize expression at: {text[pos:]!r}")
+            break
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent expression parser with module-local width lookup."""
+
+    def __init__(self, text: str, widths: Dict[str, int],
+                 inst_widths: Dict[Tuple[str, str], int]):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.widths = widths
+        self.inst_widths = inst_widths
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise IRError("unexpected end of expression")
+        if expected is not None and tok != expected:
+            raise IRError(f"expected {expected!r}, got {tok!r}")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        if self.peek() is not None:
+            raise IRError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return expr
+
+    def _expr(self) -> Expr:
+        tok = self.take()
+        lit = re.fullmatch(r"UInt<(\d+)>\((\d+)\)", tok)
+        if lit:
+            return Lit(int(lit.group(2)), int(lit.group(1)))
+        if tok in PRIM_OPS and self.peek() == "(":
+            return self._primop(tok)
+        if "." in tok:
+            inst, port = tok.split(".", 1)
+            key = (inst, port)
+            if key not in self.inst_widths:
+                raise IRError(f"unknown instance port {tok!r}")
+            return InstPort(inst, port, self.inst_widths[key])
+        if tok not in self.widths:
+            raise IRError(f"unknown reference {tok!r}")
+        return Ref(tok, self.widths[tok])
+
+    def _primop(self, op: str) -> Expr:
+        self.take("(")
+        args: List[Expr] = []
+        params: List[int] = []
+        n_args = PRIM_OPS[op]
+        while True:
+            if len(args) < n_args:
+                args.append(self._expr())
+            else:
+                params.append(int(self.take()))
+            tok = self.take()
+            if tok == ")":
+                break
+            if tok != ",":
+                raise IRError(f"expected ',' or ')', got {tok!r}")
+        widths = [a.width for a in args]
+        width = _WIDTH_RULES[op](widths, params)
+        return PrimOp(op, tuple(args), width, tuple(params))
+
+
+_PORT_RE = re.compile(r"(input|output)\s+(\w+)\s*:\s*UInt<(\d+)>")
+_WIRE_RE = re.compile(r"wire\s+(\w+)\s*:\s*UInt<(\d+)>")
+_REG_RE = re.compile(r"reg\s+(\w+)\s*:\s*UInt<(\d+)>\s*,\s*init\s+(\d+)")
+_MEM_RE = re.compile(
+    r"mem\s+(\w+)\s*:\s*UInt<(\d+)>\[(\d+)\](?:\s+init\s+\[([^\]]*)\])?")
+_READ_RE = re.compile(r"read\s+(\w+)\s*=\s*(\w+)\[(.*)\]\s*$")
+_WRITE_RE = re.compile(r"write\s+(\w+)\[(.*)\]\s*<=\s*(.*)\s+when\s+(.*)$")
+_INST_RE = re.compile(r"inst\s+(\w+)\s+of\s+(\w+)")
+_NODE_RE = re.compile(r"node\s+(\w+)\s*=\s*(.*)$")
+_CONNECT_RE = re.compile(r"([\w.]+)\s*<=\s*(.*)$")
+
+
+def parse_circuit(text: str) -> Circuit:
+    """Parse circuit text produced by :func:`repro.firrtl.printer.print_circuit`."""
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    lines = [ln for ln in lines
+             if ln.strip() and not ln.strip().startswith(";")]
+    if not lines or not lines[0].strip().startswith("circuit"):
+        raise IRError("expected 'circuit <name> :' header")
+    top = lines[0].split()[1]
+
+    # split into module chunks
+    chunks: List[List[str]] = []
+    for ln in lines[1:]:
+        stripped = ln.strip()
+        if stripped.startswith("module "):
+            chunks.append([stripped])
+        else:
+            if not chunks:
+                raise IRError(f"statement outside module: {ln!r}")
+            chunks[-1].append(stripped)
+
+    # first pass: collect port signatures (for instance port widths)
+    signatures: Dict[str, Dict[str, int]] = {}
+    names: List[str] = []
+    for chunk in chunks:
+        name = chunk[0].split()[1]
+        names.append(name)
+        sig: Dict[str, int] = {}
+        for ln in chunk[1:]:
+            m = _PORT_RE.fullmatch(ln)
+            if m:
+                sig[m.group(2)] = int(m.group(3))
+        signatures[name] = sig
+
+    modules = [_parse_module(chunk, signatures) for chunk in chunks]
+    return Circuit(top, modules)
+
+
+def _parse_module(chunk: List[str],
+                  signatures: Dict[str, Dict[str, int]]) -> Module:
+    name = chunk[0].split()[1]
+    ports: List[Port] = []
+    stmts: List = []
+    widths: Dict[str, int] = {}
+    inst_widths: Dict[Tuple[str, str], int] = {}
+    mem_widths: Dict[str, int] = {}
+    inst_modules: Dict[str, str] = {}
+    # declaration scan
+    body = chunk[1:]
+    for ln in body:
+        for regex, handler in _DECLS:
+            m = regex.fullmatch(ln)
+            if m:
+                handler(m, widths, inst_widths, mem_widths, inst_modules,
+                        signatures)
+                break
+
+    def parse_expr(text: str) -> Expr:
+        return _ExprParser(text, widths, inst_widths).parse()
+
+    for ln in body:
+        m = _PORT_RE.fullmatch(ln)
+        if m:
+            ports.append(Port(m.group(2), m.group(1), int(m.group(3))))
+            continue
+        m = _WIRE_RE.fullmatch(ln)
+        if m:
+            stmts.append(DefWire(m.group(1), int(m.group(2))))
+            continue
+        m = _REG_RE.fullmatch(ln)
+        if m:
+            stmts.append(DefRegister(m.group(1), int(m.group(2)),
+                                     int(m.group(3))))
+            continue
+        m = _MEM_RE.fullmatch(ln)
+        if m:
+            init = None
+            if m.group(4):
+                init = tuple(int(v) for v in m.group(4).split(","))
+            stmts.append(DefMemory(m.group(1), int(m.group(3)),
+                                   int(m.group(2)), init))
+            continue
+        m = _READ_RE.fullmatch(ln)
+        if m:
+            stmts.append(MemReadPort(m.group(2), m.group(1),
+                                     parse_expr(m.group(3))))
+            continue
+        m = _WRITE_RE.fullmatch(ln)
+        if m:
+            stmts.append(MemWritePort(m.group(1), parse_expr(m.group(2)),
+                                      parse_expr(m.group(3)),
+                                      parse_expr(m.group(4))))
+            continue
+        m = _INST_RE.fullmatch(ln)
+        if m:
+            stmts.append(DefInstance(m.group(1), m.group(2)))
+            continue
+        m = _NODE_RE.fullmatch(ln)
+        if m:
+            expr = parse_expr(m.group(2))
+            stmts.append(DefNode(m.group(1), expr))
+            widths[m.group(1)] = expr.width
+            continue
+        m = _CONNECT_RE.fullmatch(ln)
+        if m:
+            target_text = m.group(1)
+            if "." in target_text:
+                inst, port = target_text.split(".", 1)
+                target = InstTarget(inst, port)
+            else:
+                target = LocalTarget(target_text)
+            stmts.append(Connect(target, parse_expr(m.group(2))))
+            continue
+        raise IRError(f"{name}: cannot parse line {ln!r}")
+    return Module(name, ports, stmts)
+
+
+def _decl_port(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    widths[m.group(2)] = int(m.group(3))
+
+
+def _decl_wire(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    widths[m.group(1)] = int(m.group(2))
+
+
+def _decl_reg(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    widths[m.group(1)] = int(m.group(2))
+
+
+def _decl_mem(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    mem_widths[m.group(1)] = int(m.group(2))
+
+
+def _decl_read(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    widths[m.group(1)] = mem_widths[m.group(2)]
+
+
+def _decl_inst(m, widths, inst_widths, mem_widths, inst_modules, signatures):
+    inst, mod = m.group(1), m.group(2)
+    inst_modules[inst] = mod
+    for port, w in signatures.get(mod, {}).items():
+        inst_widths[(inst, port)] = w
+
+
+_DECLS = [
+    (_PORT_RE, _decl_port),
+    (_WIRE_RE, _decl_wire),
+    (_REG_RE, _decl_reg),
+    (_MEM_RE, _decl_mem),
+    (_READ_RE, _decl_read),
+    (_INST_RE, _decl_inst),
+]

@@ -1,0 +1,56 @@
+"""Tiny pass framework.
+
+FireRipper (and Golden Gate before it) is structured as a sequence of
+circuit-to-circuit passes.  We keep the same shape: a :class:`Pass` maps a
+circuit to a circuit (possibly the same object), and a :class:`PassManager`
+runs a pipeline while recording what ran, which makes compiler behaviour
+easy to test and to report back to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..circuit import Circuit
+
+
+class Pass:
+    """A named circuit transformation (or analysis wrapper)."""
+
+    name = "pass"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class FnPass(Pass):
+    """Adapt a plain function into a Pass."""
+
+    def __init__(self, name: str, fn: Callable[[Circuit], Circuit]):
+        self.name = name
+        self._fn = fn
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return self._fn(circuit)
+
+
+class PassManager:
+    """Runs passes in order and records the trace."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None):
+        self.passes: List[Pass] = list(passes or [])
+        self.trace: List[str] = []
+
+    def add(self, p: Pass) -> "PassManager":
+        self.passes.append(p)
+        return self
+
+    def run(self, circuit: Circuit) -> Circuit:
+        self.trace = []
+        for p in self.passes:
+            circuit = p.run(circuit)
+            self.trace.append(p.name)
+        return circuit

@@ -1,0 +1,129 @@
+"""Instance connectivity analysis.
+
+NoC-partition-mode (Sec. III-B of the paper) needs to know, inside a parent
+module, which instances are wired to which: FireRipper "traverses the
+circuit representation, collecting all the modules that are connected to
+the modules inside the wrapper module, but are not connected to any other
+[router nodes]".
+
+We compute an undirected adjacency relation between sibling instances,
+tracing through wires and nodes (registers also propagate adjacency here:
+a register between two instances still means the two are wired together
+for partitioning purposes).  Connections to the parent's own ports are
+reported under the pseudo-instance name ``PARENT``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..ast import (
+    Connect,
+    DefNode,
+    Expr,
+    InstPort,
+    InstTarget,
+    LocalTarget,
+    MemReadPort,
+    MemWritePort,
+    Ref,
+)
+from ..circuit import Module
+
+#: pseudo-instance representing the parent module's own I/O boundary
+PARENT = "<parent>"
+
+
+def instance_adjacency(module: Module) -> Dict[str, FrozenSet[str]]:
+    """Undirected adjacency between sibling instances of ``module``.
+
+    Keys are instance names (plus :data:`PARENT`); values are the sets of
+    instances each is wired to, directly or through wires/nodes/registers.
+    """
+    inst_names = {i.name for i in module.instances()}
+    ports = {p.name for p in module.ports}
+
+    # For each local signal, which instances (or PARENT) source it —
+    # propagated through wires/nodes/registers to a fixpoint.
+    node_exprs: Dict[str, Expr] = {}
+    drivers: Dict[str, Expr] = {}
+    read_addrs: Dict[str, Expr] = {}
+    for s in module.stmts:
+        if isinstance(s, DefNode):
+            node_exprs[s.name] = s.expr
+        elif isinstance(s, MemReadPort):
+            read_addrs[s.name] = s.addr
+        elif isinstance(s, Connect) and isinstance(s.target, LocalTarget):
+            drivers[s.target.name] = s.expr
+
+    sources: Dict[str, Set[str]] = {}
+
+    def signal_sources(name: str, seen: Set[str]) -> Set[str]:
+        if name in sources:
+            return sources[name]
+        if name in seen:
+            return set()
+        seen.add(name)
+        out: Set[str] = set()
+        if name in ports:
+            out.add(PARENT)
+        expr = node_exprs.get(name) or drivers.get(name) \
+            or read_addrs.get(name)
+        if expr is not None:
+            out |= expr_sources(expr, seen)
+        sources[name] = out
+        return out
+
+    def expr_sources(expr: Expr, seen: Set[str]) -> Set[str]:
+        out: Set[str] = set()
+        for leaf in expr.refs():
+            if isinstance(leaf, InstPort):
+                out.add(leaf.inst)
+            elif isinstance(leaf, Ref):
+                out |= signal_sources(leaf.name, seen)
+        return out
+
+    adjacency: Dict[str, Set[str]] = {n: set() for n in inst_names}
+    adjacency[PARENT] = set()
+
+    def link(a: str, b: str) -> None:
+        if a == b:
+            return
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    for s in module.stmts:
+        if isinstance(s, Connect):
+            if isinstance(s.target, InstTarget):
+                for src in expr_sources(s.expr, set()):
+                    link(s.target.inst, src)
+            elif isinstance(s.target, LocalTarget) \
+                    and s.target.name in ports:
+                for src in expr_sources(s.expr, set()):
+                    link(PARENT, src)
+
+    return {k: frozenset(v) for k, v in adjacency.items()}
+
+
+def connected_closure(module: Module, seeds: Set[str],
+                      blockers: Set[str]) -> Set[str]:
+    """Grow ``seeds`` with instances wired (transitively) to the seed set
+    but not wired to any instance in ``blockers``.
+
+    This is the paper's NoC-mode collection rule: starting from the wrapped
+    router nodes, pull in protocol converters and tiles that hang only off
+    those routers, stopping at instances that also touch other routers or
+    the parent boundary.
+    """
+    adjacency = instance_adjacency(module)
+    selected = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for inst, neighbors in adjacency.items():
+            if inst in selected or inst == PARENT or inst in blockers:
+                continue
+            if neighbors & selected and not (neighbors & blockers):
+                selected.add(inst)
+                changed = True
+    return selected

@@ -1,0 +1,65 @@
+"""Module instantiation DAG and its topological order.
+
+FireRipper "first topologically sorts the modules according to their
+position in the module hierarchy" so that each module's combinational
+summary is available before its parents are analyzed.  This pass provides
+exactly that order (children before parents).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ...errors import IRError
+from ..circuit import Circuit
+
+
+def module_topo_order(circuit: Circuit) -> List[str]:
+    """Module names in dependency order: leaves first, top last.
+
+    Raises :class:`IRError` on recursive instantiation (illegal in this IR,
+    as in FIRRTL).
+    """
+    order: List[str] = []
+    done: Set[str] = set()
+    visiting: Set[str] = set()
+
+    def visit(name: str, stack: List[str]) -> None:
+        if name in done:
+            return
+        if name in visiting:
+            cycle = stack[stack.index(name):] + [name]
+            raise IRError("recursive module instantiation: "
+                          + " -> ".join(cycle))
+        visiting.add(name)
+        for inst in circuit.module(name).instances():
+            if inst.module not in circuit.modules:
+                raise IRError(
+                    f"module {name} instantiates missing module "
+                    f"{inst.module!r}"
+                )
+            visit(inst.module, stack + [name])
+        visiting.discard(name)
+        done.add(name)
+        order.append(name)
+
+    visit(circuit.top, [])
+    # include modules unreachable from the top (harmless, keeps analyses
+    # total over the circuit)
+    for name in sorted(circuit.modules):
+        visit(name, [])
+    return order
+
+
+def instance_counts(circuit: Circuit) -> Dict[str, int]:
+    """How many times each module is instantiated in the elaborated design
+    (the top counts once).  Used by resource estimation and FAME-5."""
+    counts: Dict[str, int] = {name: 0 for name in circuit.modules}
+    counts[circuit.top] = 1
+    for name in reversed(module_topo_order(circuit)):
+        mult = counts[name]
+        if mult == 0:
+            continue
+        for inst in circuit.module(name).instances():
+            counts[inst.module] += mult
+    return counts

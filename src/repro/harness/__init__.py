@@ -1,0 +1,30 @@
+"""Simulation harnesses: monolithic FireSim-style runs, partitioned
+multi-FPGA co-simulation with a calibrated timing overlay, the analytic
+throughput model used for quick user feedback, and the software RTL
+simulator baseline the paper compares against.
+"""
+
+from .metrics import SimulationResult, cycle_count_error_pct
+from .monolithic import MonolithicSimulation
+from .partitioned import (
+    ConstantSource,
+    FunctionSource,
+    Link,
+    Partition,
+    PartitionedSimulation,
+)
+from .analytic import analytic_rate_hz
+from .software_sim import software_rtl_sim_rate_hz
+
+__all__ = [
+    "SimulationResult",
+    "cycle_count_error_pct",
+    "MonolithicSimulation",
+    "Partition",
+    "Link",
+    "PartitionedSimulation",
+    "ConstantSource",
+    "FunctionSource",
+    "analytic_rate_hz",
+    "software_rtl_sim_rate_hz",
+]

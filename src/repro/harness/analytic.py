@@ -1,0 +1,70 @@
+"""Closed-form throughput model for partitioned simulations.
+
+This is the "expected simulation performance" feedback FireRipper prints
+at compile time (Sec. III), and the model behind the paper's four
+performance knobs (Sec. VI-A):
+
+* interconnect — latency/bandwidth of the transport,
+* partitioning mode — exact crosses the link twice per target cycle,
+  fast once,
+* module selection — sets the boundary width, which scales the
+  (de)serialization work,
+* bitstream frequency — shrinks every host-cycle-denominated cost.
+
+FAME-5 threading (Sec. VI-B) overlaps the N per-thread host cycles and
+serialization with the link latency, so the per-target-cycle cost is the
+*max* of the communication latency and the threaded compute, not the sum —
+that is the amortization Fig. 14 shows.  Rings of more than two FPGAs add
+a small per-hop synchronization penalty (Fig. 13's "minor timing
+issues").
+"""
+
+from __future__ import annotations
+
+from ..platform.transport import TransportModel
+
+#: per-extra-FPGA synchronization jitter in a ring, ns per target cycle
+RING_SYNC_JITTER_NS = 260.0
+
+
+def analytic_rate_hz(mode: str, width_bits: int,
+                     transport: TransportModel,
+                     host_freq_mhz: float,
+                     threads: int = 1,
+                     num_fpgas: int = 2) -> float:
+    """Predicted target simulation frequency in Hz.
+
+    Args:
+        mode: ``"exact"`` or ``"fast"``.
+        width_bits: boundary interface width in one direction.
+        transport: inter-FPGA transport model.
+        host_freq_mhz: bitstream frequency of the slower partition.
+        threads: FAME-5 thread count on the threaded partition (1 = none).
+        num_fpgas: FPGAs in the (ring) topology.
+    """
+    host_ns = 1e3 / host_freq_mhz
+    crossings = 2 if mode == "exact" else 1
+    serdes_ns = 2 * transport.serdes_cycles(width_bits) * host_ns
+    one_crossing = transport.wire_ns(width_bits) + serdes_ns
+    advance_ns = host_ns
+    # fire-FSM / fireFSM pipeline overhead: a few host cycles per target
+    # cycle for arming output FSMs and committing the cycle (calibrated
+    # against the token-level co-simulation)
+    pipeline_ns = 3 * host_ns
+
+    if threads <= 1:
+        per_cycle = crossings * one_crossing + advance_ns + pipeline_ns
+    else:
+        # N threads: tokens pipeline into the link; compute and per-thread
+        # serialization overlap with the flight latency of earlier tokens.
+        per_thread_ns = (advance_ns
+                         + 2 * transport.serdes_cycles(width_bits) * host_ns
+                         + (width_bits / transport.bandwidth_gbps
+                            + transport.per_token_overhead_ns))
+        pipelined = threads * per_thread_ns
+        latency_bound = crossings * one_crossing + advance_ns
+        per_cycle = max(latency_bound, pipelined)
+
+    per_cycle += max(0, num_fpgas - 2) * RING_SYNC_JITTER_NS
+    rate = 1e9 / per_cycle
+    return transport.apply_rate_cap(rate)

@@ -1,0 +1,46 @@
+"""Result records and cycle-count comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a harness run.
+
+    Attributes:
+        target_cycles: target-design cycles simulated.
+        wall_ns: simulated host wall-clock time (from the timing overlay).
+        rate_hz: achieved target frequency (``target_cycles / wall_ns``),
+            after any transport rate cap.
+        tokens_transferred: total tokens that crossed inter-FPGA links.
+        per_partition_cycles: final target cycle per partition.
+        detail: free-form extras (per-channel counts, utilization, ...).
+    """
+
+    target_cycles: int
+    wall_ns: float
+    rate_hz: float
+    tokens_transferred: int = 0
+    per_partition_cycles: Dict[str, int] = field(default_factory=dict)
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rate_mhz(self) -> float:
+        return self.rate_hz / 1e6
+
+    @property
+    def rate_khz(self) -> float:
+        return self.rate_hz / 1e3
+
+
+def cycle_count_error_pct(reference_cycles: int, measured_cycles: int
+                          ) -> float:
+    """Absolute percentage error against a reference cycle count — the
+    metric of the paper's Table II validation."""
+    if reference_cycles == 0:
+        return 0.0 if measured_cycles == 0 else float("inf")
+    return abs(measured_cycles - reference_cycles) \
+        / reference_cycles * 100.0

@@ -1,0 +1,74 @@
+"""Monolithic FireSim-style simulation of an unpartitioned target.
+
+This is the ground truth for the Table II validation: the same target
+compiled without FireRipper, running as a single LI-BDN on one FPGA.
+Because the whole design sits in one host, the LI-BDN fires every cycle
+and the FPGA-cycle-to-model-cycle ratio is ~1, so the achieved rate is
+simply the host clock frequency; cycle counts come from stepping the RTL
+engine directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import SimulationError
+from ..firrtl.circuit import Circuit
+from ..rtl.engine import Simulator
+from .metrics import SimulationResult
+
+#: per-port input driver: constant value or fn(cycle) -> value
+InputDriver = Union[int, Callable[[int], int]]
+
+
+class MonolithicSimulation:
+    """Single-FPGA simulation harness around one RTL simulator."""
+
+    def __init__(self, circuit: Circuit, host_freq_mhz: float = 30.0,
+                 drivers: Optional[Dict[str, InputDriver]] = None):
+        self.sim = Simulator(circuit)
+        self.host_freq_mhz = host_freq_mhz
+        self.drivers: Dict[str, InputDriver] = dict(drivers or {})
+        unknown = set(self.drivers) - set(self.sim.elab.inputs)
+        if unknown:
+            raise SimulationError(
+                f"drivers for unknown input ports: {sorted(unknown)}"
+            )
+
+    def _inputs_at(self, cycle: int) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for port, drv in self.drivers.items():
+            out[port] = drv(cycle) if callable(drv) else drv
+        return out
+
+    def run(self, cycles: int) -> SimulationResult:
+        """Run a fixed number of target cycles."""
+        for _ in range(cycles):
+            self.sim.step(self._inputs_at(self.sim.cycle))
+        self.sim.eval()
+        return self._result()
+
+    def run_until(self, signal: str, value: int = 1,
+                  max_cycles: int = 5_000_000) -> SimulationResult:
+        """Run until an output/internal signal reaches ``value``."""
+        for _ in range(max_cycles):
+            for port, val in self._inputs_at(self.sim.cycle).items():
+                self.sim.poke(port, val)
+            self.sim.eval()
+            if self.sim.peek(signal) == value:
+                return self._result()
+            self.sim.tick()
+        raise SimulationError(
+            f"{signal} never reached {value} within {max_cycles} cycles"
+        )
+
+    def _result(self) -> SimulationResult:
+        cycles = self.sim.cycle
+        host_cycle_ns = 1e3 / self.host_freq_mhz
+        wall_ns = max(cycles * host_cycle_ns, host_cycle_ns)
+        return SimulationResult(
+            target_cycles=cycles,
+            wall_ns=wall_ns,
+            rate_hz=self.host_freq_mhz * 1e6,
+            per_partition_cycles={"monolithic": cycles},
+        )

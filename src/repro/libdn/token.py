@@ -1,0 +1,103 @@
+"""Tokens and latency-insensitive channels.
+
+A *token* carries one target cycle's worth of values for every port mapped
+to a channel.  Channels are unbounded FIFOs by default (the bounded-ness of
+real LI-BDNs matters for host buffer sizing, which the platform layer
+models separately); a capacity can be set to study backpressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+#: One target cycle's values for a channel: port name -> value.
+Token = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of an LI-BDN channel.
+
+    Args:
+        name: channel name, unique within a host.
+        ports: ``(port_name, width)`` pairs aggregated into this channel.
+        deps: for *output* channels, the names of the input channels that
+            feed these ports combinationally (empty for source channels).
+    """
+
+    name: str
+    ports: Tuple[Tuple[str, int], ...]
+    deps: FrozenSet[str] = frozenset()
+
+    @property
+    def width(self) -> int:
+        """Total payload width in bits (the partition-interface width the
+        paper's performance sweeps vary)."""
+        return sum(w for _, w in self.ports)
+
+    @property
+    def port_names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.ports)
+
+    @staticmethod
+    def make(name: str, ports: Sequence[Tuple[str, int]],
+             deps: Sequence[str] = ()) -> "ChannelSpec":
+        return ChannelSpec(name, tuple(ports), frozenset(deps))
+
+
+def zeros_token(spec: ChannelSpec) -> Token:
+    """An all-zero token for ``spec`` (used for fast-mode seed tokens)."""
+    return {name: 0 for name in spec.port_names}
+
+
+class Channel:
+    """FIFO of tokens for one :class:`ChannelSpec`."""
+
+    def __init__(self, spec: ChannelSpec, capacity: Optional[int] = None):
+        self.spec = spec
+        self.capacity = capacity
+        self.queue: Deque[Token] = deque()
+        self.total_enqueued = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def can_put(self) -> bool:
+        return self.capacity is None or len(self.queue) < self.capacity
+
+    def put(self, token: Token) -> None:
+        if not self.can_put():
+            raise SimulationError(
+                f"channel {self.name!r} overflow (capacity {self.capacity})"
+            )
+        missing = set(self.spec.port_names) - set(token)
+        if missing:
+            raise SimulationError(
+                f"channel {self.name!r}: token missing ports {sorted(missing)}"
+            )
+        self.queue.append(token)
+        self.total_enqueued += 1
+
+    def has_token(self) -> bool:
+        return bool(self.queue)
+
+    def head(self) -> Token:
+        if not self.queue:
+            raise SimulationError(f"channel {self.name!r} is empty")
+        return self.queue[0]
+
+    def get(self) -> Token:
+        if not self.queue:
+            raise SimulationError(f"channel {self.name!r} is empty")
+        return self.queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.name!r}, depth={len(self.queue)})"

@@ -1,0 +1,171 @@
+"""LI-BDN host wrapper around a cycle-level simulator.
+
+This is the software analogue of the FAME-1 transform's added circuitry
+(dotted lines in the paper's Fig. 1): per-output-channel fire FSMs plus the
+``fireFSM`` that advances the target.  The firing discipline is the LI-BDN
+one from Vijayaraghavan & Arvind:
+
+* an output channel may fire once per target cycle, as soon as every input
+  channel it combinationally depends on holds a valid head token;
+* the target advances one cycle when every input channel has a token and
+  every output channel has fired; advancing consumes the input tokens and
+  re-arms the output FSMs.
+
+Because firing pokes only the combinationally relevant inputs before
+evaluating, output tokens are correct even while other inputs are still in
+flight — this is exactly what lets exact-mode partitions with boundary
+combinational logic make forward progress (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..rtl.engine import Simulator
+from .token import Channel, ChannelSpec, Token, zeros_token
+
+
+class LIBDNHost:
+    """Wraps a :class:`~repro.rtl.Simulator` in LI-BDN channels.
+
+    Args:
+        sim: simulator whose top-level ports are exactly the channel ports.
+        in_specs: input channel descriptions.
+        out_specs: output channel descriptions (with comb ``deps``).
+        name: host name for diagnostics.
+    """
+
+    def __init__(self, sim: Simulator, in_specs: Sequence[ChannelSpec],
+                 out_specs: Sequence[ChannelSpec], name: str = "libdn"):
+        self.sim = sim
+        self.name = name
+        self.in_channels: Dict[str, Channel] = {
+            s.name: Channel(s) for s in in_specs
+        }
+        self.out_channels: Dict[str, Channel] = {
+            s.name: Channel(s) for s in out_specs
+        }
+        for s in out_specs:
+            unknown = s.deps - set(self.in_channels)
+            if unknown:
+                raise SimulationError(
+                    f"{name}: output channel {s.name!r} depends on unknown "
+                    f"input channels {sorted(unknown)}"
+                )
+        self._fired: Dict[str, bool] = {s.name: False for s in out_specs}
+        #: tokens produced this host step, drained by the harness
+        self.outbox: List[Tuple[str, Token]] = []
+        self.target_cycle = 0
+        self._validate_ports()
+
+    def _validate_ports(self) -> None:
+        sim_inputs = dict(self.sim.elab.inputs)
+        sim_outputs = dict(self.sim.elab.outputs)
+        for ch in self.in_channels.values():
+            for port, width in ch.spec.ports:
+                if sim_inputs.get(port) != width:
+                    raise SimulationError(
+                        f"{self.name}: input channel {ch.name!r} port "
+                        f"{port!r} does not match a {width}-bit sim input"
+                    )
+        for ch in self.out_channels.values():
+            for port, width in ch.spec.ports:
+                if sim_outputs.get(port) != width:
+                    raise SimulationError(
+                        f"{self.name}: output channel {ch.name!r} port "
+                        f"{port!r} does not match a {width}-bit sim output"
+                    )
+
+    # -- token plumbing ------------------------------------------------------
+
+    def deliver(self, channel: str, token: Token) -> None:
+        """Enqueue a token arriving on an input channel."""
+        self.in_channels[channel].put(dict(token))
+
+    def seed_inputs(self) -> None:
+        """Prime every input channel with one all-zero token (fast-mode
+        initialization; injects one cycle of latency at the boundary)."""
+        for ch in self.in_channels.values():
+            ch.put(zeros_token(ch.spec))
+
+    def drain_outbox(self) -> List[Tuple[str, Token]]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # -- LI-BDN state machines -------------------------------------------------
+
+    def try_fire_outputs(self) -> List[str]:
+        """Fire every armed output channel whose comb-dependent inputs hold
+        tokens; returns the names fired (in deterministic order)."""
+        fired_now: List[str] = []
+        for name in sorted(self.out_channels):
+            if self._fired[name]:
+                continue
+            spec = self.out_channels[name].spec
+            if not all(self.in_channels[d].has_token() for d in spec.deps):
+                continue
+            # poke only the combinationally relevant inputs; other input
+            # ports keep stale values, which cannot affect these outputs.
+            for dep in spec.deps:
+                head = self.in_channels[dep].head()
+                for port, _ in self.in_channels[dep].spec.ports:
+                    self.sim.poke(port, head[port])
+            self.sim.eval()
+            token = {port: self.sim.peek(port)
+                     for port, _ in spec.ports}
+            self.out_channels[name].put(token)
+            self.outbox.append((name, token))
+            self._fired[name] = True
+            fired_now.append(name)
+        return fired_now
+
+    def can_advance(self) -> bool:
+        """fireFSM condition: all inputs present, all outputs fired."""
+        return (all(ch.has_token() for ch in self.in_channels.values())
+                and all(self._fired.values()))
+
+    def advance(self) -> None:
+        """Consume one token per input channel, step the target a cycle,
+        and re-arm the output FSMs."""
+        if not self.can_advance():
+            raise SimulationError(f"{self.name}: advance() while not ready")
+        for ch in self.in_channels.values():
+            token = ch.get()
+            for port, _ in ch.spec.ports:
+                self.sim.poke(port, token[port])
+        self.sim.eval()
+        self.sim.tick()
+        for name in self._fired:
+            self._fired[name] = False
+        # tokens the fire FSMs enqueued for bookkeeping are consumed by the
+        # harness via the outbox; drop our local copies.
+        for ch in self.out_channels.values():
+            if ch.has_token():
+                ch.get()
+        self.target_cycle += 1
+
+    def host_step(self) -> bool:
+        """One host iteration: fire what can fire, advance if possible.
+        Returns True when any progress was made."""
+        progress = bool(self.try_fire_outputs())
+        if self.can_advance():
+            self.advance()
+            progress = True
+        return progress
+
+    def stuck_detail(self) -> str:
+        """Describe why the host cannot progress (for deadlock reports)."""
+        waiting = []
+        for name in sorted(self.out_channels):
+            if self._fired[name]:
+                continue
+            spec = self.out_channels[name].spec
+            missing = [d for d in sorted(spec.deps)
+                       if not self.in_channels[d].has_token()]
+            if missing:
+                waiting.append(f"{name} waits on {missing}")
+        empty = [n for n, ch in sorted(self.in_channels.items())
+                 if not ch.has_token()]
+        return (f"{self.name}@cycle{self.target_cycle}: "
+                f"outputs [{'; '.join(waiting)}] | empty inputs {empty}")

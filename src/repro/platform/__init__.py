@@ -1,0 +1,49 @@
+"""Host platform models: FPGA boards, resource estimation, transports.
+
+These are the simulated stand-ins for the paper's hardware substrate
+(Xilinx Alveo U250 clusters, AWS EC2 F1 VU9Ps, QSFP/Aurora cables, PCIe).
+Latency/bandwidth constants are calibrated to the end-to-end simulation
+rates the paper reports: ~1.6 MHz over QSFP, ~1 MHz over peer-to-peer
+PCIe, and the 26.4 kHz host-managed PCIe ceiling.
+"""
+
+from .resources import (
+    AWS_VU9P,
+    FPGAResources,
+    FPGAProfile,
+    XILINX_U250,
+)
+from .estimate import estimate_circuit_resources, estimate_core_area_mm2
+from .transport import (
+    HOST_PCIE,
+    PCIE_P2P,
+    QSFP_AURORA,
+    TransportModel,
+)
+from .ethernet import (
+    ETHERNET_100G,
+    SwitchFabric,
+    SwitchedEthernetTransport,
+    make_switched_links,
+)
+from .hybrid import Campaign, format_plan, plan_hybrid
+
+__all__ = [
+    "FPGAResources",
+    "FPGAProfile",
+    "XILINX_U250",
+    "AWS_VU9P",
+    "TransportModel",
+    "QSFP_AURORA",
+    "PCIE_P2P",
+    "HOST_PCIE",
+    "estimate_circuit_resources",
+    "estimate_core_area_mm2",
+    "ETHERNET_100G",
+    "SwitchFabric",
+    "SwitchedEthernetTransport",
+    "make_switched_links",
+    "Campaign",
+    "plan_hybrid",
+    "format_plan",
+]

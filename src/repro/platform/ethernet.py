@@ -1,0 +1,93 @@
+"""Switched-Ethernet transport and arbitrary FPGA topologies
+(Sec. VIII-C future work).
+
+The paper's on-prem topologies are limited by the U250's two QSFP cages
+(rings or binary trees of direct-attach cables); it proposes Ethernet
+through a central switch to route tokens between *any* pair of FPGAs.
+This module models that: per-link cost like any transport, plus a shared
+:class:`SwitchFabric` whose backplane all links contend on.
+
+Trade-off reproduced: the switch adds store-and-forward latency (so a
+2-FPGA simulation is slower than over a direct cable) but removes the
+cabling constraint, letting topologies the ring cannot express (stars,
+fully-connected token exchanges) run at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TransportError
+from .transport import TransportModel
+
+
+@dataclass
+class SwitchFabric:
+    """A shared Ethernet switch: every traversing token occupies the
+    backplane for its serialization time."""
+
+    name: str = "ethernet_switch"
+    backplane_gbps: float = 100.0
+    port_overhead_ns: float = 120.0  # per-hop MAC/PHY + buffering
+    next_free: float = 0.0
+    tokens: int = 0
+
+    def traverse(self, depart_ns: float, width_bits: int) -> float:
+        """Token enters the switch at ``depart_ns``; returns exit time."""
+        service = width_bits / self.backplane_gbps \
+            + self.port_overhead_ns
+        start = max(depart_ns, self.next_free)
+        self.next_free = start + service
+        self.tokens += 1
+        return start + service
+
+
+@dataclass(frozen=True)
+class SwitchedEthernetTransport(TransportModel):
+    """Ethernet NIC-to-switch-to-NIC path.
+
+    The per-link constants cover the two cable runs and the FPGA-side
+    MAC; the shared switch contention is accounted by the harness when a
+    :class:`SwitchFabric` is attached to the link.
+    """
+
+    switch: Optional[SwitchFabric] = None
+
+    def with_switch(self, switch: SwitchFabric
+                    ) -> "SwitchedEthernetTransport":
+        return SwitchedEthernetTransport(
+            name=self.name, latency_ns=self.latency_ns,
+            bandwidth_gbps=self.bandwidth_gbps,
+            per_token_overhead_ns=self.per_token_overhead_ns,
+            flit_bits=self.flit_bits, rate_cap_hz=self.rate_cap_hz,
+            switch=switch)
+
+
+#: 100G Ethernet through a cut-through datacenter switch.  Slower than a
+#: direct QSFP cable (two cable runs + switch hop) but topology-free.
+ETHERNET_100G = SwitchedEthernetTransport(
+    name="ethernet_100g_switched",
+    latency_ns=950.0,          # two cable runs + MACs
+    bandwidth_gbps=100.0,
+    per_token_overhead_ns=90.0,
+    flit_bits=128,
+)
+
+
+def make_switched_links(link_plans, switch: Optional[SwitchFabric] = None,
+                        transport: SwitchedEthernetTransport
+                        = ETHERNET_100G):
+    """Build harness links that all share one switch fabric.
+
+    Args:
+        link_plans: iterable of
+            :class:`~repro.fireripper.boundary.LinkPlan`.
+        switch: shared fabric (a fresh one by default).
+        transport: per-link Ethernet model.
+    """
+    from ..harness.partitioned import Link
+
+    fabric = switch or SwitchFabric()
+    shared = transport.with_switch(fabric)
+    return [Link(lp.src, lp.dst, shared) for lp in link_plans], fabric

@@ -1,0 +1,141 @@
+"""Hybrid cloud/on-prem usage-model advisor (Sec. VIII-A).
+
+The paper weighs three factors when choosing between cloud and
+on-premises FPGAs: cost structure (hourly vs. upfront), FPGA capacity
+(the U250 offers ~50% more usable LUTs than the shell-burdened VU9P),
+and simulation performance (QSFP beats peer-to-peer PCIe).  It advocates
+a hybrid model: develop on-prem for low latency and agility, then burst
+benchmark campaigns to the cloud.
+
+This module turns that discussion into a planner: given a development
+phase (interactive debugging sessions) and a benchmarking campaign
+(many independent simulations), it prices the pure-cloud, pure-on-prem,
+and hybrid strategies and recommends one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .resources import AWS_VU9P, FPGAProfile, XILINX_U250
+from .transport import PCIE_P2P, QSFP_AURORA, TransportModel
+
+#: AWS f1.16xlarge (8 FPGAs) on-demand, per FPGA-hour
+CLOUD_FPGA_HOUR_USD = 13.2 / 8
+#: Alveo U250 street price + host share, amortized purchase
+ONPREM_FPGA_USD = 9_000.0
+#: QSFP direct-attach cable (the paper's "~$25")
+QSFP_CABLE_USD = 25.0
+#: power + hosting per on-prem FPGA-hour
+ONPREM_OPEX_HOUR_USD = 0.12
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A simulation workload to be priced.
+
+    Args:
+        fpgas_per_sim: FPGAs one partitioned simulation occupies.
+        dev_hours: interactive development/debug FPGA-occupancy hours.
+        bench_sim_hours: total simulation hours of the benchmark sweep
+            at the *on-prem* rate (cloud runs take proportionally longer
+            because peer-to-peer PCIe is slower than QSFP).
+        bench_parallelism: simultaneous simulations the sweep needs to
+            finish on schedule — the elasticity the cloud provides and
+            on-prem must buy.
+        dev_idle_factor: interactive sessions keep instances allocated
+            while the user thinks; cloud dev hours are billed inflated
+            by this factor (owned hardware idles for free).
+        horizon_months: amortization horizon for purchased hardware.
+    """
+
+    fpgas_per_sim: int
+    dev_hours: float
+    bench_sim_hours: float
+    bench_parallelism: int = 4
+    dev_idle_factor: float = 2.5
+    horizon_months: int = 24
+
+
+@dataclass
+class StrategyCost:
+    """Priced strategy."""
+
+    name: str
+    usd: float
+    dev_rate_mhz: float
+    bench_rate_mhz: float
+    detail: str
+
+
+def _rate(transport: TransportModel, host_mhz: float = 30.0) -> float:
+    from ..harness.analytic import analytic_rate_hz
+
+    return analytic_rate_hz("fast", 512, transport, host_mhz) / 1e6
+
+
+def plan_hybrid(campaign: Campaign) -> Tuple[StrategyCost,
+                                             List[StrategyCost]]:
+    """Price all three strategies; returns (recommended, all)."""
+    onprem_rate = _rate(QSFP_AURORA)
+    cloud_rate = _rate(PCIE_P2P)
+    slowdown = onprem_rate / cloud_rate
+
+    n = campaign.fpgas_per_sim
+    amortize = campaign.horizon_months / 24.0
+
+    # pure cloud: everything on F1; interactive hours billed inflated
+    cloud_hours = (campaign.dev_hours * campaign.dev_idle_factor
+                   + campaign.bench_sim_hours * slowdown) * n
+    cloud = StrategyCost(
+        "pure cloud", cloud_hours * CLOUD_FPGA_HOUR_USD,
+        cloud_rate, cloud_rate,
+        f"{cloud_hours:.0f} FPGA-hours at ${CLOUD_FPGA_HOUR_USD:.2f}/h; "
+        f"benchmarks {slowdown:.2f}x slower than QSFP; interactive "
+        f"sessions billed {campaign.dev_idle_factor:.1f}x for idle time")
+
+    # pure on-prem: buy enough FPGAs to run the sweep in parallel
+    dev_capex = n * (ONPREM_FPGA_USD + QSFP_CABLE_USD) * amortize
+    sweep_capex = dev_capex * campaign.bench_parallelism
+    onprem_hours = (campaign.dev_hours + campaign.bench_sim_hours) * n
+    onprem = StrategyCost(
+        "pure on-prem", sweep_capex + onprem_hours * ONPREM_OPEX_HOUR_USD,
+        onprem_rate, onprem_rate,
+        f"{n * campaign.bench_parallelism} U250s to sustain "
+        f"{campaign.bench_parallelism} parallel sweeps "
+        f"(amortized {campaign.horizon_months} months) "
+        f"+ {onprem_hours:.0f} FPGA-hours of opex")
+
+    # hybrid: buy one dev setup, burst the sweep to the cloud
+    hybrid_cloud_hours = campaign.bench_sim_hours * slowdown * n
+    hybrid = StrategyCost(
+        "hybrid (develop on-prem, benchmark in cloud)",
+        dev_capex + campaign.dev_hours * n * ONPREM_OPEX_HOUR_USD
+        + hybrid_cloud_hours * CLOUD_FPGA_HOUR_USD,
+        onprem_rate, cloud_rate,
+        "the paper's recommended model: low-latency iteration locally, "
+        "elastic sweep capacity in the cloud")
+
+    strategies = [cloud, onprem, hybrid]
+    recommended = min(strategies, key=lambda s: s.usd)
+    return recommended, strategies
+
+
+def format_plan(campaign: Campaign) -> str:
+    recommended, strategies = plan_hybrid(campaign)
+    lines = [
+        f"campaign: {campaign.fpgas_per_sim} FPGAs/simulation, "
+        f"{campaign.dev_hours:.0f}h development, "
+        f"{campaign.bench_sim_hours:.0f}h of benchmarks",
+        f"usable LUT advantage of on-prem U250 over cloud VU9P: "
+        f"{XILINX_U250.usable.luts / AWS_VU9P.usable.luts - 1:.0%}",
+        "",
+    ]
+    for s in strategies:
+        marker = "-> " if s is recommended else "   "
+        lines.append(f"{marker}{s.name}: ${s.usd:,.0f} "
+                     f"(dev {s.dev_rate_mhz:.2f} MHz / "
+                     f"bench {s.bench_rate_mhz:.2f} MHz)")
+        lines.append(f"     {s.detail}")
+    return "\n".join(lines)

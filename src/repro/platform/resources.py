@@ -1,0 +1,109 @@
+"""FPGA resource vectors and board profiles.
+
+Capacities follow the public datasheets; the *usable* fractions reflect
+the paper's observation that shell/fixed IP eats into them — notably that
+an on-premises Alveo U250 offers ~50% more usable LUTs than the cloud
+VU9P (Sec. VIII-A).  The ``congestion_threshold`` models the paper's
+experience that a monolithic GC40 BOOM bitstream build *fails due to
+congestion* well before 100% LUT utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ResourceError
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """A vector of FPGA resources."""
+
+    luts: float = 0.0
+    ffs: float = 0.0
+    bram36: float = 0.0
+    dsps: float = 0.0
+
+    def __add__(self, other: "FPGAResources") -> "FPGAResources":
+        return FPGAResources(self.luts + other.luts, self.ffs + other.ffs,
+                             self.bram36 + other.bram36,
+                             self.dsps + other.dsps)
+
+    def scale(self, k: float) -> "FPGAResources":
+        return FPGAResources(self.luts * k, self.ffs * k,
+                             self.bram36 * k, self.dsps * k)
+
+    def utilization(self, capacity: "FPGAResources") -> Dict[str, float]:
+        """Fractional utilization against a capacity vector."""
+        out: Dict[str, float] = {}
+        for field in ("luts", "ffs", "bram36", "dsps"):
+            cap = getattr(capacity, field)
+            out[field] = (getattr(self, field) / cap) if cap else 0.0
+        return out
+
+
+@dataclass(frozen=True)
+class FPGAProfile:
+    """One FPGA board model available to the simulation platform."""
+
+    name: str
+    capacity: FPGAResources
+    usable_fraction: float  # after shell / fixed IP
+    congestion_threshold: float  # routable fraction of usable LUTs
+    qsfp_cages: int
+    default_host_freq_mhz: float
+
+    @property
+    def usable(self) -> FPGAResources:
+        return self.capacity.scale(self.usable_fraction)
+
+    def check_fit(self, required: FPGAResources,
+                  label: str = "partition") -> Dict[str, float]:
+        """Validate a resource requirement; returns the utilization map.
+
+        Raises :class:`ResourceError` when any resource exceeds the usable
+        capacity, or when LUT utilization crosses the congestion threshold
+        (bitstream builds fail to route past that point, as the paper saw
+        with the monolithic GC40 BOOM).
+        """
+        util = required.utilization(self.usable)
+        over = {k: v for k, v in util.items() if v > 1.0}
+        if over:
+            raise ResourceError(
+                f"{label} does not fit {self.name}: "
+                + ", ".join(f"{k}={v:.0%}" for k, v in over.items()),
+                utilization=util,
+            )
+        if util["luts"] > self.congestion_threshold:
+            raise ResourceError(
+                f"{label} fails routing congestion on {self.name}: "
+                f"luts={util['luts']:.0%} > "
+                f"threshold {self.congestion_threshold:.0%}",
+                utilization=util,
+            )
+        return util
+
+
+#: On-premises Xilinx Alveo U250 (local cluster in the paper).
+XILINX_U250 = FPGAProfile(
+    name="xilinx_alveo_u250",
+    capacity=FPGAResources(luts=1_728_000, ffs=3_456_000,
+                           bram36=2_688, dsps=12_288),
+    usable_fraction=0.90,
+    congestion_threshold=0.75,
+    qsfp_cages=2,
+    default_host_freq_mhz=30.0,
+)
+
+#: AWS EC2 F1 VU9P; heavy fixed shell IP leaves ~50% fewer usable LUTs
+#: than the on-prem U250 (Sec. VIII-A).
+AWS_VU9P = FPGAProfile(
+    name="aws_f1_vu9p",
+    capacity=FPGAResources(luts=1_182_240, ffs=2_364_480,
+                           bram36=2_160, dsps=6_840),
+    usable_fraction=0.88,
+    congestion_threshold=0.75,
+    qsfp_cages=0,
+    default_host_freq_mhz=30.0,
+)

@@ -1,0 +1,15 @@
+"""Cycle-based RTL simulator for the FIRRTL-like IR.
+
+The simulator elaborates (flattens) a circuit into a netlist of single
+assignments, topologically sorts the combinational logic, and then executes
+``eval`` (combinational settle) / ``tick`` (register + memory commit)
+phases.  It is the reference semantics against which the LI-BDN token
+machinery and FireRipper's transforms are validated: *cycle counts from
+this engine define ground truth*.
+"""
+
+from .elaborate import Elaboration, elaborate
+from .engine import Simulator
+from .vcd import VCDWriter, dump_vcd
+
+__all__ = ["Simulator", "Elaboration", "elaborate", "VCDWriter", "dump_vcd"]

@@ -1,0 +1,27 @@
+"""Target designs written in the IR.
+
+These are the stand-ins for the paper's Chisel-generated RTL: ready-valid
+primitives, the Fig. 2 combinational-boundary pair, a small RISC-style
+core tile that runs real programs, Sha3-like and Gemmini-like accelerator
+SoCs, a Constellation-like ring NoC generator, and multi-tile SoC
+builders.  Everything a case study partitions is generated here.
+"""
+
+from .primitives import (
+    make_counter,
+    make_pipe,
+    make_queue,
+    make_rv_consumer,
+    make_rv_producer,
+)
+from .combo import make_comb_pair_circuit, COMB_PAIR_REGS
+
+__all__ = [
+    "make_queue",
+    "make_pipe",
+    "make_counter",
+    "make_rv_producer",
+    "make_rv_consumer",
+    "make_comb_pair_circuit",
+    "COMB_PAIR_REGS",
+]

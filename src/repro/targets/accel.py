@@ -1,0 +1,326 @@
+"""Accelerator SoCs for the Table II validation.
+
+Two accelerators with opposite boundary sensitivity, mirroring the
+paper's validation targets:
+
+* :func:`make_sha3_soc` — a Sha3-like absorb/permute engine that streams
+  its input through a ready-valid memory port.  Every word costs a memory
+  round trip across the partition boundary, so fast-mode's injected cycle
+  of latency shows up directly in the runtime (the paper's 6.62% error
+  case).
+* :func:`make_gemmini_soc` — a Gemmini-like matmul engine that crunches
+  out of a preloaded local scratchpad.  Only the command and completion
+  cross the boundary, so fast-mode barely perturbs the cycle count
+  (0.22% in the paper).
+
+Both SoCs expose ``done`` and ``digest``/``checksum`` outputs and raise
+``done`` after one operation, so harnesses can measure operation latency
+in cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..firrtl.builder import ModuleBuilder, mux
+from ..firrtl.circuit import Circuit, Module
+from ..firrtl.builder import make_circuit
+
+WORD = 16
+
+
+def make_simple_memory(latency: int = 6, depth: int = 64,
+                       name: str = "SimpleMem") -> Module:
+    """One-outstanding-request memory: ready-valid request (address) in,
+    ready-valid response (data) out after ``latency`` cycles.
+
+    Contents are synthesized as ``data[a] = 3a + 1`` so accelerators can
+    be checked against a closed-form reference.
+    """
+    b = ModuleBuilder(name)
+    req = b.rv_input("req", WORD)
+    resp = b.rv_output("resp", WORD)
+
+    init = [(3 * a + 1) & 0xFFFF for a in range(depth)]
+    store = b.mem("store", depth, WORD, init=init)
+
+    busy = b.reg("busy", 1)
+    countdown = b.reg("countdown", 8)
+    pending_addr = b.reg("pending_addr", WORD)
+    resp_full = b.reg("resp_full", 1)
+    resp_data = b.reg("resp_data", WORD)
+
+    accept = b.node("accept", ~busy & ~resp_full)
+    req_fire = b.node("req_fire", req.valid.read() & accept)
+    b.connect(req.ready, accept)
+
+    expired = b.node("expired", busy & countdown.eq(0))
+    addr_bits = b.node("addr_bits", pending_addr.bits(5, 0))
+    data = b.mem_read(store, "data", addr_bits)
+
+    b.connect(busy, mux(req_fire, b.lit(1, 1), mux(expired, 0, busy)))
+    b.connect(countdown,
+              mux(req_fire, b.lit(latency, 8),
+                  mux(busy & countdown.gt(0), countdown - 1, countdown)))
+    b.connect(pending_addr, mux(req_fire, req.bits.read(), pending_addr))
+
+    resp_fire = b.node("resp_fire", resp_full & resp.ready.read())
+    b.connect(resp_full,
+              mux(expired, b.lit(1, 1), mux(resp_fire, 0, resp_full)))
+    b.connect(resp_data, mux(expired, data, resp_data))
+    b.connect(resp.valid, resp_full)
+    b.connect(resp.bits, resp_data)
+    return b.build()
+
+
+def make_pipelined_memory(latency: int = 6, depth: int = 64,
+                          window: int = 16,
+                          name: str = "PipelinedMem") -> Module:
+    """Streaming memory: accepts up to ``window`` outstanding requests;
+    each response becomes visible ``latency`` cycles after its request
+    (in order).  Contents are ``data[a] = 3a + 1``.
+    """
+    b = ModuleBuilder(name)
+    req = b.rv_input("req", WORD)
+    resp = b.rv_output("resp", WORD)
+
+    init = [(3 * a + 1) & 0xFFFF for a in range(depth)]
+    store = b.mem("store", depth, WORD, init=init)
+
+    now = b.reg("now", 16)
+    b.connect(now, now + 1)
+
+    ptr_w = max((window - 1).bit_length(), 1)
+    cnt_w = window.bit_length()
+    count = b.reg("count", cnt_w)
+    rptr = b.reg("rptr", ptr_w)
+    wptr = b.reg("wptr", ptr_w)
+    pending = b.mem("pending", window, WORD)  # data, fetched at enqueue
+    stamps = b.mem("stamps", window, 16)
+
+    not_full = b.node("not_full", count.lt(window))
+    req_fire = b.node("req_fire", req.valid.read() & not_full)
+    b.connect(req.ready, not_full)
+
+    addr_bits = b.node("addr_bits", req.bits.read().bits(5, 0))
+    fetched = b.mem_read(store, "fetched", addr_bits)
+    b.mem_write(pending, wptr, fetched, req_fire)
+    b.mem_write(stamps, wptr, now, req_fire)
+
+    head_data = b.mem_read(pending, "head_data", rptr)
+    head_stamp = b.mem_read(stamps, "head_stamp", rptr)
+    aged = b.node("aged", (now - head_stamp).trunc(16).geq(latency))
+    resp_ok = b.node("resp_ok", count.gt(0) & aged)
+    resp_fire = b.node("resp_fire", resp_ok & resp.ready.read())
+    b.connect(resp.valid, resp_ok)
+    b.connect(resp.bits, head_data)
+
+    wrap = window - 1
+    b.connect(wptr, mux(req_fire, mux(wptr.eq(wrap), b.lit(0, ptr_w),
+                                      wptr + 1), wptr))
+    b.connect(rptr, mux(resp_fire, mux(rptr.eq(wrap), b.lit(0, ptr_w),
+                                       rptr + 1), rptr))
+    b.connect(count, (count + req_fire) - resp_fire)
+    return b.build()
+
+
+def make_sha3_accel(name: str = "Sha3Accel") -> Module:
+    """Absorb-and-permute engine streaming ``len`` words from memory.
+
+    Requests pipeline (the engine does not wait for each response before
+    issuing the next read), like the real DMA-driven Sha3 accelerator;
+    responses fold into a rotating hash state in order.
+
+    Command format: ``cmd_bits = [len(6) | addr(6)]``.
+    """
+    b = ModuleBuilder(name)
+    cmd = b.rv_input("cmd", 12)
+    mreq = b.rv_output("mreq", WORD)
+    mresp = b.rv_input("mresp", WORD)
+    done = b.output("done", 1)
+    digest = b.output("digest", WORD)
+
+    busy = b.reg("busy", 1)
+    addr = b.reg("addr", 6)
+    to_issue = b.reg("to_issue", 7)
+    to_recv = b.reg("to_recv", 7)
+    hash_state = b.reg("hash_state", WORD, init=0x5A5A & 0xFFFF)
+    finished = b.reg("finished", 1)
+
+    idle = b.node("idle", ~busy)
+    cmd_fire = b.node("cmd_fire", cmd.valid.read() & idle)
+    b.connect(cmd.ready, idle)
+
+    issuing = b.node("issuing", busy & to_issue.gt(0))
+    b.connect(mreq.valid, issuing)
+    b.connect(mreq.bits, addr.pad(WORD))
+    mreq_fire = b.node("mreq_fire", issuing & mreq.ready.read())
+
+    b.connect(mresp.ready, busy)
+    mresp_fire = b.node("mresp_fire", busy & mresp.valid.read())
+
+    # permute: rotate-left 3, xor data, add golden-ratio-ish constant
+    absorbed = b.node(
+        "absorbed",
+        ((hash_state.dshl(3) | hash_state.dshr(13))
+         ^ mresp.bits.read()) + 0x9E3)
+
+    last_word = b.node("last_word", to_recv.eq(1))
+    op_done = b.node("op_done", mresp_fire & last_word)
+    b.connect(busy, mux(cmd_fire, b.lit(1, 1), mux(op_done, 0, busy)))
+    b.connect(addr, mux(cmd_fire, cmd.bits.read().bits(5, 0),
+                        mux(mreq_fire, addr + 1, addr)))
+    b.connect(to_issue,
+              mux(cmd_fire, cmd.bits.read().bits(11, 6).pad(7),
+                  mux(mreq_fire, to_issue - 1, to_issue)))
+    b.connect(to_recv,
+              mux(cmd_fire, cmd.bits.read().bits(11, 6).pad(7),
+                  mux(mresp_fire, to_recv - 1, to_recv)))
+    b.connect(hash_state, mux(mresp_fire, absorbed, hash_state))
+    b.connect(finished, finished | op_done)
+    b.connect(done, finished)
+    b.connect(digest, hash_state)
+    return b.build()
+
+
+def make_sha3_soc(n_words: int = 16, mem_latency: int = 6
+                  ) -> Circuit:
+    """SoC: command driver + Sha3-like accelerator + backing memory."""
+    accel = make_sha3_accel()
+    memory = make_pipelined_memory(latency=mem_latency)
+    b = ModuleBuilder("Sha3SoC")
+    done = b.output("done", 1)
+    digest = b.output("digest", WORD)
+
+    a = b.inst("sha3accel", accel)
+    m = b.inst("mem", memory)
+
+    # one-shot command driver
+    issued = b.reg("issued", 1)
+    cmd_fire = b.node("cmd_fire", ~issued & a["cmd_ready"].read())
+    b.connect(issued, issued | cmd_fire)
+    b.connect(a["cmd_valid"], ~issued)
+    b.connect(a["cmd_bits"], b.lit((n_words << 6) | 0, 12))
+
+    b.connect(m["req_valid"], a["mreq_valid"])
+    b.connect(m["req_bits"], a["mreq_bits"])
+    b.connect(a["mreq_ready"], m["req_ready"])
+    b.connect(a["mresp_valid"], m["resp_valid"])
+    b.connect(a["mresp_bits"], m["resp_bits"])
+    b.connect(m["resp_ready"], a["mresp_ready"])
+
+    b.connect(done, a["done"])
+    b.connect(digest, a["digest"])
+    return make_circuit(b.build(), [accel, memory])
+
+
+def make_gemmini_accel(dim: int = 4, name: str = "GemminiAccel") -> Module:
+    """Matmul engine over a preloaded scratchpad: C = A x B with a
+    ``dim^3`` MAC loop, one MAC per cycle, then a checksum reduction."""
+    b = ModuleBuilder(name)
+    cmd = b.rv_input("cmd", 4)
+    done = b.output("done", 1)
+    checksum = b.output("checksum", WORD)
+
+    n = dim
+    a_init = [((3 * i + 5) % 23) & 0xFFFF for i in range(n * n)]
+    b_init = [((7 * i + 2) % 19) & 0xFFFF for i in range(n * n)]
+    spad_a = b.mem("spad_a", n * n, WORD, init=a_init)
+    spad_b = b.mem("spad_b", n * n, WORD, init=b_init)
+    spad_c = b.mem("spad_c", n * n, WORD)
+
+    idx_w = max((n - 1).bit_length(), 1)
+    i = b.reg("i", idx_w)
+    j = b.reg("j", idx_w)
+    k = b.reg("k", idx_w)
+    acc = b.reg("acc", WORD)
+    csum = b.reg("csum", WORD)
+    # 0 idle, 1 computing, 2 reducing, 3 done
+    state = b.reg("state", 2)
+
+    idle = b.node("idle", state.eq(0))
+    computing = b.node("computing", state.eq(1))
+    reducing = b.node("reducing", state.eq(2))
+
+    cmd_fire = b.node("cmd_fire", cmd.valid.read() & idle)
+    b.connect(cmd.ready, idle)
+
+    a_addr = b.node("a_addr", (i * n + k).trunc(2 * idx_w + 1))
+    b_addr = b.node("b_addr", (k * n + j).trunc(2 * idx_w + 1))
+    c_addr = b.node("c_addr", (i * n + j).trunc(2 * idx_w + 1))
+    a_val = b.mem_read(spad_a, "a_val", a_addr)
+    b_val = b.mem_read(spad_b, "b_val", b_addr)
+    c_val = b.mem_read(spad_c, "c_val", c_addr)
+
+    mac = b.node("mac", (acc + a_val * b_val).trunc(WORD))
+    k_last = b.node("k_last", k.eq(n - 1))
+    j_last = b.node("j_last", j.eq(n - 1))
+    i_last = b.node("i_last", i.eq(n - 1))
+    cell_done = b.node("cell_done", computing & k_last)
+    all_cells = b.node("all_cells", cell_done & j_last & i_last)
+
+    b.mem_write(spad_c, c_addr, mac, cell_done)
+    b.connect(acc, mux(computing, mux(k_last, b.lit(0, WORD), mac), acc))
+    b.connect(k, mux(computing, mux(k_last, b.lit(0, idx_w), k + 1), k))
+    # the (i, j) walk advances per completed cell while computing, and per
+    # cycle while reducing (the reduction re-walks C in the same order)
+    step_ij = b.node("step_ij", cell_done | reducing)
+    b.connect(j, mux(step_ij, mux(j_last, b.lit(0, idx_w), j + 1), j))
+    b.connect(i, mux(step_ij & j_last,
+                     mux(i_last, b.lit(0, idx_w), i + 1), i))
+
+    # reduction reuses i*n+j as the walk index via (i, j)
+    red_val = b.node("red_val", c_val)
+    red_last = b.node("red_last", reducing & j_last & i_last)
+    b.connect(csum, mux(reducing, (csum + red_val).trunc(WORD), csum))
+
+    b.connect(
+        state,
+        mux(cmd_fire, b.lit(1, 2),
+            mux(all_cells, b.lit(2, 2),
+                mux(red_last, b.lit(3, 2), state))))
+    b.connect(done, state.eq(3))
+    b.connect(checksum, csum)
+    return b.build()
+
+
+def make_gemmini_soc(dim: int = 4) -> Circuit:
+    """SoC: command driver + Gemmini-like matmul accelerator."""
+    accel = make_gemmini_accel(dim=dim)
+    b = ModuleBuilder("GemminiSoC")
+    done = b.output("done", 1)
+    checksum = b.output("checksum", WORD)
+    a = b.inst("gemminiaccel", accel)
+    issued = b.reg("issued", 1)
+    cmd_fire = b.node("cmd_fire", ~issued & a["cmd_ready"].read())
+    b.connect(issued, issued | cmd_fire)
+    b.connect(a["cmd_valid"], ~issued)
+    b.connect(a["cmd_bits"], b.lit(1, 4))
+    b.connect(done, a["done"])
+    b.connect(checksum, a["checksum"])
+    return make_circuit(b.build(), [accel])
+
+
+def gemmini_reference_checksum(dim: int = 4) -> int:
+    """Closed-form reference for the Gemmini checksum."""
+    n = dim
+    a = [((3 * i + 5) % 23) for i in range(n * n)]
+    bm = [((7 * i + 2) % 19) for i in range(n * n)]
+    total = 0
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i * n + k] * bm[k * n + j]) & 0xFFFF
+            total = (total + acc) & 0xFFFF
+    return total
+
+
+def sha3_reference_digest(n_words: int = 16) -> int:
+    """Closed-form reference for the Sha3 digest."""
+    state = 0x5A5A
+    for a in range(n_words):
+        data = (3 * a + 1) & 0xFFFF
+        rot = ((state << 3) | (state >> 13)) & 0xFFFF
+        state = (rot ^ data) + 0x9E3 & 0xFFFF
+    return state

@@ -1,0 +1,79 @@
+"""The Fig. 2 combinational-boundary pair, reconstructed concretely.
+
+Two modules whose boundary carries combinational logic in both directions,
+arranged exactly so the paper's exact-mode walkthrough reproduces:
+
+* ``CombLeft`` (LI-BDN 1): register ``x`` (init 1); source output
+  ``s = x``; sink output ``d = a + x`` (adder *P*); sink input ``a``;
+  source input ``e`` feeding ``x`` directly.
+* ``CombRight`` (LI-BDN 2): register ``y`` (init 2); source output
+  ``ya = y``; sink output ``q = c + y + 4`` (adder *Q*); sink input ``c``;
+  source input ``f`` with ``y <= f + y + 4``.
+
+Wired ``s -> c``, ``q -> e``, ``ya -> a``, ``d -> f``, the first simulated
+cycle produces the paper's token values: source tokens 1 and 2 in step 1,
+sink tokens 3 and 7 in step 2, and registers updating to 7 and 9 in
+step 3.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..firrtl.builder import ModuleBuilder, make_circuit
+from ..firrtl.circuit import Circuit, Module
+
+#: register start values and the first-cycle expectations from the paper
+COMB_PAIR_REGS = {
+    "x_init": 1, "y_init": 2,
+    "step1_source_tokens": (1, 2),
+    "step2_sink_tokens": (3, 7),
+    "step3_registers": (7, 9),
+}
+
+WIDTH = 16
+
+
+def make_comb_left() -> Module:
+    b = ModuleBuilder("CombLeft")
+    a = b.input("a", WIDTH)       # sink in (feeds adder P)
+    e = b.input("e", WIDTH)       # source in (feeds register x only)
+    d = b.output("d", WIDTH)      # sink out: adder P = a + x
+    s = b.output("s", WIDTH)      # source out: register x
+    x = b.reg("x", WIDTH, init=COMB_PAIR_REGS["x_init"])
+    b.connect(d, a + x)
+    b.connect(s, x)
+    b.connect(x, e)
+    return b.build()
+
+
+def make_comb_right() -> Module:
+    b = ModuleBuilder("CombRight")
+    c = b.input("c", WIDTH)       # sink in (feeds adder Q)
+    f = b.input("f", WIDTH)       # source in (register y datapath only)
+    q = b.output("q", WIDTH)      # sink out: adder Q = c + y + 4
+    ya = b.output("ya", WIDTH)    # source out: register y
+    y = b.reg("y", WIDTH, init=COMB_PAIR_REGS["y_init"])
+    b.connect(q, (c + y) + 4)
+    b.connect(ya, y)
+    b.connect(y, (f + y) + 4)
+    return b.build()
+
+
+def make_comb_pair_circuit() -> Circuit:
+    """Monolithic circuit wiring the two halves; ``x_obs``/``y_obs``
+    expose the register values for validation."""
+    left = make_comb_left()
+    right = make_comb_right()
+    b = ModuleBuilder("CombPairTop")
+    x_obs = b.output("x_obs", WIDTH)
+    y_obs = b.output("y_obs", WIDTH)
+    l = b.inst("left", left)
+    r = b.inst("right", right)
+    b.connect(r["c"], l["s"])
+    b.connect(l["e"], r["q"])
+    b.connect(l["a"], r["ya"])
+    b.connect(r["f"], l["d"])
+    b.connect(x_obs, l["s"])
+    b.connect(y_obs, r["ya"])
+    return make_circuit(b.build(), [left, right])

@@ -1,0 +1,239 @@
+"""Ring NoC generator — the Constellation stand-in (Sec. III-B, Fig. 4).
+
+The generated network has the three-layer shape the paper describes: the
+physical layer (router nodes, named ``router<i>`` so NoC-partition-mode
+can find them), the protocol layer (per-tile protocol converters), and
+the top-level wiring.  Router-to-router links are *credit based and fully
+registered*: no router output is combinationally dependent on any ring
+input, which is exactly the property that makes NoC boundaries ideal
+partition points (all boundary channels classify as source->source).
+
+Flits are ``[dest | payload]``; routing is dimension-free ring forwarding
+(one direction), delivery when ``dest == my_id``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from ..firrtl.builder import ModuleBuilder, cat, mux
+from ..firrtl.circuit import Module
+from .primitives import make_queue
+
+PAYLOAD = 16
+RING_CREDITS = 2
+IN_BUF_DEPTH = 2
+
+
+def flit_width(n_routers: int) -> int:
+    return PAYLOAD + dest_bits(n_routers)
+
+
+def dest_bits(n_routers: int) -> int:
+    return max((n_routers - 1).bit_length(), 1)
+
+
+def make_router(my_id: int, n_routers: int,
+                name: Optional[str] = None) -> Tuple[Module, List[Module]]:
+    """One ring router node.
+
+    Ports:
+      * ``ring_in_valid/ring_in_bits`` + ``ring_credit_out`` — upstream,
+      * ``ring_out_valid/ring_out_bits`` + ``ring_credit_in`` — downstream,
+      * ``local_in_*`` / ``local_out_*`` — ready-valid to the protocol
+        converter.
+
+    Forwarded traffic has priority over local injection.
+    """
+    fw = flit_width(n_routers)
+    db = dest_bits(n_routers)
+    in_buf = make_queue(fw, depth=IN_BUF_DEPTH,
+                        name=f"RouterInBuf_n{n_routers}")
+    out_q = make_queue(fw, depth=IN_BUF_DEPTH,
+                       name=f"RouterLocalOut_n{n_routers}")
+    b = ModuleBuilder(name or f"Router{my_id}_n{n_routers}")
+    ring_in_valid = b.input("ring_in_valid", 1)
+    ring_in_bits = b.input("ring_in_bits", fw)
+    ring_credit_out = b.output("ring_credit_out", 1)
+    ring_out_valid = b.output("ring_out_valid", 1)
+    ring_out_bits = b.output("ring_out_bits", fw)
+    ring_credit_in = b.input("ring_credit_in", 1)
+    local_in = b.rv_input("local_in", fw)
+    local_out = b.rv_output("local_out", fw)
+
+    buf = b.inst("in_buf", in_buf)
+    loq = b.inst("local_out_q", out_q)
+
+    # upstream flits always fit: the upstream router spends a credit per
+    # flit and we return it only after dequeuing from in_buf.
+    b.connect(buf["enq_valid"], ring_in_valid)
+    b.connect(buf["enq_bits"], ring_in_bits)
+
+    credits = b.reg("credits", RING_CREDITS.bit_length(),
+                    init=RING_CREDITS)
+    head = b.node("head", buf["deq_bits"].read())
+    head_valid = b.node("head_valid", buf["deq_valid"].read())
+    head_dest = b.node("head_dest", head.bits(fw - 1, PAYLOAD))
+    for_me = b.node("for_me", head_dest.eq(my_id))
+
+    deliver = b.node("deliver",
+                     head_valid & for_me & loq["enq_ready"].read())
+    can_send = b.node("can_send", credits.gt(0))
+    forward = b.node("forward", head_valid & ~for_me & can_send)
+    inject = b.node("inject",
+                    local_in.valid.read() & ~forward & can_send)
+
+    b.connect(buf["deq_ready"], deliver | forward)
+    b.connect(ring_credit_out, deliver | forward)
+
+    b.connect(loq["enq_valid"], head_valid & for_me)
+    b.connect(loq["enq_bits"], head)
+    b.connect(local_out.valid, loq["deq_valid"])
+    b.connect(local_out.bits, loq["deq_bits"])
+    b.connect(loq["deq_ready"], local_out.ready)
+
+    b.connect(local_in.ready, inject)
+
+    # registered ring output: one pulse per flit
+    out_v = b.reg("out_v", 1)
+    out_d = b.reg("out_d", fw)
+    send = b.node("send", forward | inject)
+    b.connect(out_v, send)
+    b.connect(out_d, mux(forward, head,
+                         mux(inject, local_in.bits.read(), out_d)))
+    b.connect(ring_out_valid, out_v)
+    b.connect(ring_out_bits, out_d)
+    b.connect(credits,
+              (credits - send) + ring_credit_in.read())
+    return b.build(), [in_buf, out_q]
+
+
+def make_torus_router(my_id: int, n_routers: int,
+                      name: Optional[str] = None
+                      ) -> Tuple[Module, List[Module]]:
+    """Bidirectional (torus) ring router with shortest-path routing —
+    the topology of the paper's Fig. 9 "Ring" configuration.
+
+    Two independent ring directions (``cw`` and ``ccw``), each with its
+    own credit loop and input buffer; locally injected flits pick the
+    direction with the shorter hop count to their destination.  All ring
+    outputs are registered, preserving the source->source boundary
+    property NoC-partition-mode relies on.
+    """
+    fw = flit_width(n_routers)
+    db = dest_bits(n_routers)
+    cw_buf = make_queue(fw, depth=IN_BUF_DEPTH,
+                        name=f"TorusCwBuf_n{n_routers}")
+    ccw_buf = make_queue(fw, depth=IN_BUF_DEPTH,
+                         name=f"TorusCcwBuf_n{n_routers}")
+    out_q = make_queue(fw, depth=IN_BUF_DEPTH,
+                       name=f"TorusLocalOut_n{n_routers}")
+    b = ModuleBuilder(name or f"TorusRouter{my_id}_n{n_routers}")
+    ports = {}
+    for d in ("cw", "ccw"):
+        ports[f"{d}_in_valid"] = b.input(f"{d}_in_valid", 1)
+        ports[f"{d}_in_bits"] = b.input(f"{d}_in_bits", fw)
+        ports[f"{d}_credit_out"] = b.output(f"{d}_credit_out", 1)
+        ports[f"{d}_out_valid"] = b.output(f"{d}_out_valid", 1)
+        ports[f"{d}_out_bits"] = b.output(f"{d}_out_bits", fw)
+        ports[f"{d}_credit_in"] = b.input(f"{d}_credit_in", 1)
+    local_in = b.rv_input("local_in", fw)
+    local_out = b.rv_output("local_out", fw)
+
+    bufs = {"cw": b.inst("cw_buf", cw_buf),
+            "ccw": b.inst("ccw_buf", ccw_buf)}
+    loq = b.inst("local_out_q", out_q)
+
+    for d in ("cw", "ccw"):
+        b.connect(bufs[d]["enq_valid"], ports[f"{d}_in_valid"])
+        b.connect(bufs[d]["enq_bits"], ports[f"{d}_in_bits"])
+
+    credits = {d: b.reg(f"credits_{d}", RING_CREDITS.bit_length(),
+                        init=RING_CREDITS) for d in ("cw", "ccw")}
+
+    heads = {}
+    for d in ("cw", "ccw"):
+        head = b.node(f"head_{d}", bufs[d]["deq_bits"].read())
+        hv = b.node(f"head_valid_{d}", bufs[d]["deq_valid"].read())
+        dest = b.node(f"head_dest_{d}", head.bits(fw - 1, PAYLOAD))
+        heads[d] = (head, hv, b.node(f"for_me_{d}", dest.eq(my_id)))
+
+    # deliver: cw buffer has priority into the local queue
+    cw_deliver = b.node(
+        "cw_deliver",
+        heads["cw"][1] & heads["cw"][2] & loq["enq_ready"].read())
+    ccw_deliver = b.node(
+        "ccw_deliver",
+        heads["ccw"][1] & heads["ccw"][2] & loq["enq_ready"].read()
+        & ~cw_deliver)
+    b.connect(loq["enq_valid"],
+              (heads["cw"][1] & heads["cw"][2])
+              | (heads["ccw"][1] & heads["ccw"][2] & ~cw_deliver))
+    b.connect(loq["enq_bits"],
+              mux(heads["cw"][1] & heads["cw"][2],
+                  heads["cw"][0], heads["ccw"][0]))
+    b.connect(local_out.valid, loq["deq_valid"])
+    b.connect(local_out.bits, loq["deq_bits"])
+    b.connect(loq["deq_ready"], local_out.ready)
+
+    # shortest-path direction for a locally injected flit
+    inj_dest = b.node("inj_dest",
+                      local_in.bits.read().bits(fw - 1, PAYLOAD))
+    # clockwise hop count: (dest - my_id) mod n_routers, computed in
+    # non-negative arithmetic so it works for any ring size
+    cw_dist = b.node("cw_dist",
+                     (inj_dest + (n_routers - my_id)) % n_routers)
+    half = n_routers // 2
+    go_cw = b.node("go_cw", cw_dist.leq(half) & cw_dist.gt(0))
+
+    deliver = {"cw": cw_deliver, "ccw": ccw_deliver}
+    injected_any = []
+    for d in ("cw", "ccw"):
+        head, hv, for_me = heads[d]
+        can_send = b.node(f"can_send_{d}", credits[d].gt(0))
+        forward = b.node(f"forward_{d}", hv & ~for_me & can_send)
+        wants = go_cw if d == "cw" else ~go_cw
+        inject = b.node(
+            f"inject_{d}",
+            local_in.valid.read() & wants & ~forward & can_send)
+        injected_any.append(inject)
+        b.connect(bufs[d]["deq_ready"], deliver[d] | forward)
+        b.connect(ports[f"{d}_credit_out"], deliver[d] | forward)
+        out_v = b.reg(f"out_v_{d}", 1)
+        out_d = b.reg(f"out_d_{d}", fw)
+        send = b.node(f"send_{d}", forward | inject)
+        b.connect(out_v, send)
+        b.connect(out_d, mux(forward, head,
+                             mux(inject, local_in.bits.read(), out_d)))
+        b.connect(ports[f"{d}_out_valid"], out_v)
+        b.connect(ports[f"{d}_out_bits"], out_d)
+        b.connect(credits[d],
+                  (credits[d] - send) + ports[f"{d}_credit_in"].read())
+    b.connect(local_in.ready, injected_any[0] | injected_any[1])
+    return b.build(), [cw_buf, ccw_buf, out_q]
+
+
+def make_converter(dest_id: int, n_routers: int,
+                   name: Optional[str] = None) -> Module:
+    """Protocol converter between a tile (payload-wide ready-valid) and
+    its router (flit-wide).  Tile-bound flits are stripped to payload;
+    network-bound payloads are stamped with the converter's fixed
+    destination."""
+    fw = flit_width(n_routers)
+    b = ModuleBuilder(name or f"Converter_d{dest_id}_n{n_routers}")
+    tile_in = b.rv_input("tile_in", PAYLOAD)     # from tile (to network)
+    net_out = b.rv_output("net_out", fw)         # to router local_in
+    net_in = b.rv_input("net_in", fw)            # from router local_out
+    tile_out = b.rv_output("tile_out", PAYLOAD)  # to tile
+
+    b.connect(net_out.valid, tile_in.valid)
+    b.connect(net_out.bits,
+              b.lit(dest_id, dest_bits(n_routers)).cat(
+                  tile_in.bits.read()))
+    b.connect(tile_in.ready, net_out.ready)
+
+    b.connect(tile_out.valid, net_in.valid)
+    b.connect(tile_out.bits, net_in.bits.read().bits(PAYLOAD - 1, 0))
+    b.connect(net_in.ready, tile_out.ready)
+    return b.build()

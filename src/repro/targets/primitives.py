@@ -1,0 +1,142 @@
+"""Ready-valid primitives: queues, pipes, producers, consumers, counters.
+
+These are the building blocks the larger targets compose, and they match
+the decoupled-interface idioms the paper's fast-mode banks on: modules
+attached to buses "interface with the bus via decoupled interfaces"
+(Sec. III-A2), i.e. exactly these queues.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..firrtl.builder import ModuleBuilder, mux
+from ..firrtl.circuit import Module
+
+
+def make_queue(width: int, depth: int = 2,
+               name: Optional[str] = None) -> Module:
+    """Standard ready-valid FIFO queue.
+
+    Ports: ``enq_valid/enq_ready/enq_bits`` and
+    ``deq_valid/deq_ready/deq_bits``.  Ready is combinational on
+    occupancy only (not on ``deq_ready``), so the enqueue side of a queue
+    is a latency-insensitive boundary — the property fast-mode needs.
+    """
+    b = ModuleBuilder(name or f"Queue_w{width}_d{depth}")
+    enq = b.rv_input("enq", width)
+    deq = b.rv_output("deq", width)
+
+    ptr_w = max((depth - 1).bit_length(), 1)
+    cnt_w = depth.bit_length()
+    count = b.reg("count", cnt_w)
+    rptr = b.reg("rptr", ptr_w)
+    wptr = b.reg("wptr", ptr_w)
+    storage = b.mem("storage", depth, width)
+
+    not_full = b.node("not_full", count.lt(depth))
+    not_empty = b.node("not_empty", count.gt(0))
+    enq_fire = b.node("enq_fire", enq.valid.read() & not_full)
+    deq_fire = b.node("deq_fire", not_empty & deq.ready.read())
+
+    b.mem_write(storage, wptr, enq.bits.read(), enq_fire)
+    head = b.mem_read(storage, "head", rptr)
+
+    b.connect(enq.ready, not_full)
+    b.connect(deq.valid, not_empty)
+    b.connect(deq.bits, head)
+
+    wrap = depth - 1
+    b.connect(wptr, mux(enq_fire, mux(wptr.eq(wrap), b.lit(0, ptr_w),
+                                      wptr + 1), wptr))
+    b.connect(rptr, mux(deq_fire, mux(rptr.eq(wrap), b.lit(0, ptr_w),
+                                      rptr + 1), rptr))
+    b.connect(count, (count + enq_fire) - deq_fire)
+    return b.build()
+
+
+def make_pipe(width: int, name: Optional[str] = None) -> Module:
+    """Single-stage valid pipe (no backpressure): out is in, one cycle
+    later."""
+    b = ModuleBuilder(name or f"Pipe_w{width}")
+    in_valid = b.input("in_valid", 1)
+    in_bits = b.input("in_bits", width)
+    out_valid = b.output("out_valid", 1)
+    out_bits = b.output("out_bits", width)
+    v = b.reg("v", 1)
+    d = b.reg("d", width)
+    b.connect(v, in_valid)
+    b.connect(d, mux(in_valid.read(), in_bits, d))
+    b.connect(out_valid, v)
+    b.connect(out_bits, d)
+    return b.build()
+
+
+def make_counter(width: int = 16, name: Optional[str] = None) -> Module:
+    """Free-running counter with an enable — a minimal source-only module."""
+    b = ModuleBuilder(name or f"Counter_w{width}")
+    en = b.input("en", 1)
+    out = b.output("count", width)
+    r = b.reg("r", width)
+    b.connect(r, mux(en.read(), r + 1, r))
+    b.connect(out, r)
+    return b.build()
+
+
+def make_rv_producer(width: int, count: int = 0,
+                     name: Optional[str] = None) -> Module:
+    """Produces an incrementing value stream on a ready-valid output.
+
+    With ``count > 0`` it stops after that many transactions and raises
+    ``done``; with ``count == 0`` it streams forever.  The produced values
+    are ``1, 2, 3, ...`` so consumers can checksum them.
+    """
+    b = ModuleBuilder(name or f"RVProducer_w{width}_n{count}")
+    out = b.rv_output("out", width)
+    done = b.output("done", 1)
+    sent = b.reg("sent", 32)
+    value = b.reg("value", width, init=1)
+
+    if count > 0:
+        active = b.node("active", sent.lt(count))
+    else:
+        active = b.node("active", b.lit(1, 1))
+    fire = b.node("fire", active & out.ready.read())
+    b.connect(out.valid, active)
+    b.connect(out.bits, value)
+    b.connect(sent, sent + fire)
+    b.connect(value, mux(fire, value + 1, value))
+    if count > 0:
+        b.connect(done, sent.geq(count))
+    else:
+        b.connect(done, 0)
+    return b.build()
+
+
+def make_rv_consumer(width: int, stall_mask: int = 0,
+                     name: Optional[str] = None) -> Module:
+    """Consumes a ready-valid stream, accumulating a checksum.
+
+    ``stall_mask`` deasserts ready on cycles where
+    ``cycle & stall_mask != 0``, to exercise backpressure.
+    Outputs: ``sum`` (checksum), ``received`` (transaction count).
+    """
+    b = ModuleBuilder(name or f"RVConsumer_w{width}_m{stall_mask}")
+    inp = b.rv_input("in", width)
+    total = b.output("sum", 32)
+    received = b.output("received", 32)
+    cyc = b.reg("cyc", 16)
+    acc = b.reg("acc", 32)
+    cnt = b.reg("cnt", 32)
+    b.connect(cyc, cyc + 1)
+    if stall_mask:
+        ready = b.node("ready_now", (cyc & stall_mask).eq(0))
+    else:
+        ready = b.node("ready_now", b.lit(1, 1))
+    fire = b.node("fire", inp.valid.read() & ready)
+    b.connect(inp.ready, ready)
+    b.connect(acc, mux(fire, acc + inp.bits.read(), acc))
+    b.connect(cnt, cnt + fire)
+    b.connect(total, acc)
+    b.connect(received, cnt)
+    return b.build()

@@ -1,0 +1,302 @@
+"""TinyCore ISA, assembler, and the programs the case studies run.
+
+TinyCore is a 16-bit, single-cycle, Harvard-architecture core — the
+reproduction's stand-in for a Rocket tile.  Programs are real: they
+execute out of an instruction ROM, loop, poll queues, and halt, so
+partitioned simulation cycle counts are meaningful (Table II's validation
+compares them against monolithic runs).
+
+Instruction format (16 bits)::
+
+    [15:12] opcode | [11:9] rd | [8:6] ra | [5:0] imm6
+    register-register ops use [5:3] as rb
+
+Opcodes:
+
+====  =====  ==========================================
+0x0   HALT   stop; assert ``done``
+0x1   ADDI   rd = ra + imm6
+0x2   ADD    rd = ra + rb
+0x3   SUB    rd = ra - rb
+0x4   AND    rd = ra & rb
+0x5   OR     rd = ra | rb
+0x6   XOR    rd = ra ^ rb
+0x7   LD     rd = dmem[ra + imm6]   (addr 61/62 are queue MMIO)
+0x8   ST     dmem[ra + imm6] = rd   (addr 63 pushes the output queue)
+0x9   BEQ    if ra == rd: pc = imm6
+0xA   BNE    if ra != rd: pc = imm6
+0xB   JMP    pc = imm6
+0xC   LI     rd = imm6
+0xD   OUT    result register = rd
+0xE   SHL    rd = ra << (imm6 & 15)
+0xF   SHR    rd = ra >> (imm6 & 15)
+====  =====  ==========================================
+
+Queue MMIO (data addresses intercepted before the data memory):
+
+* ``LD rd, [61]`` — input-queue valid flag (0/1), does not pop,
+* ``LD rd, [62]`` — input-queue head; pops when valid,
+* ``LD rd, [60]`` — output-queue ready flag,
+* ``ST [63], rd`` — push rd to the output queue (dropped if not ready;
+  well-behaved programs poll 60 first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ReproError
+
+HALT, ADDI, ADD, SUB, AND, OR, XOR, LD = range(8)
+ST, BEQ, BNE, JMP, LI, OUT, SHL, SHR = range(8, 16)
+
+#: queue MMIO addresses
+ADDR_OUT_READY = 60
+ADDR_IN_VALID = 61
+ADDR_IN_POP = 62
+ADDR_OUT_PUSH = 63
+
+Instr = Tuple  # mnemonic-first tuples, see assemble()
+
+
+class AsmError(ReproError):
+    """Bad assembly program."""
+
+
+def _reg(r: Union[int, str]) -> int:
+    if isinstance(r, str):
+        if not r.startswith("r"):
+            raise AsmError(f"bad register {r!r}")
+        r = int(r[1:])
+    if not 0 <= r < 8:
+        raise AsmError(f"register out of range: {r}")
+    return r
+
+
+def assemble(program: Sequence[Union[str, Instr]]) -> List[int]:
+    """Assemble a program into instruction words.
+
+    A program is a list of items; strings ending in ``:`` are labels,
+    tuples are instructions like ``("ADDI", "r1", "r1", 1)`` or
+    ``("BNE", "r1", "r2", "loop")`` (branch targets may be labels).
+    """
+    labels: Dict[str, int] = {}
+    instrs: List[Instr] = []
+    for item in program:
+        if isinstance(item, str):
+            if not item.endswith(":"):
+                raise AsmError(f"bare string must be a label: {item!r}")
+            labels[item[:-1]] = len(instrs)
+        else:
+            instrs.append(item)
+    if len(instrs) > 64:
+        raise AsmError(f"program too long: {len(instrs)} words (max 64)")
+
+    ops = {"HALT": HALT, "ADDI": ADDI, "ADD": ADD, "SUB": SUB, "AND": AND,
+           "OR": OR, "XOR": XOR, "LD": LD, "ST": ST, "BEQ": BEQ,
+           "BNE": BNE, "JMP": JMP, "LI": LI, "OUT": OUT, "SHL": SHL,
+           "SHR": SHR}
+
+    def imm6(v: Union[int, str]) -> int:
+        if isinstance(v, str):
+            if v not in labels:
+                raise AsmError(f"unknown label {v!r}")
+            v = labels[v]
+        if not 0 <= v < 64:
+            raise AsmError(f"immediate out of range: {v}")
+        return v
+
+    words: List[int] = []
+    for ins in instrs:
+        name = ins[0]
+        if name not in ops:
+            raise AsmError(f"unknown mnemonic {name!r}")
+        op = ops[name]
+        rd = ra = imm = 0
+        if name == "HALT":
+            pass
+        elif name in ("ADDI", "LD", "ST", "SHL", "SHR"):
+            rd, ra, imm = _reg(ins[1]), _reg(ins[2]), imm6(ins[3])
+        elif name in ("ADD", "SUB", "AND", "OR", "XOR"):
+            rd, ra = _reg(ins[1]), _reg(ins[2])
+            imm = _reg(ins[3]) << 3
+        elif name in ("BEQ", "BNE"):
+            rd, ra, imm = _reg(ins[1]), _reg(ins[2]), imm6(ins[3])
+        elif name == "JMP":
+            imm = imm6(ins[1])
+        elif name == "LI":
+            rd, imm = _reg(ins[1]), imm6(ins[2])
+        elif name == "OUT":
+            rd = _reg(ins[1])
+        words.append((op << 12) | (rd << 9) | (ra << 6) | imm)
+    return words
+
+
+# --------------------------------------------------------------------------
+# canned programs
+# --------------------------------------------------------------------------
+
+
+def boot_program(loop_count: int = 40) -> List[int]:
+    """The "Linux boot" stand-in: initialize memory, run a copy+checksum
+    loop ``loop_count`` times, report the checksum, halt.
+
+    ``loop_count`` must fit the imm6 field (< 64).
+    """
+    if not 1 <= loop_count < 64:
+        raise AsmError("loop_count must be in [1, 63]")
+    return assemble([
+        ("LI", "r1", 0),            # loop counter
+        ("LI", "r2", loop_count),   # limit
+        ("LI", "r3", 0),            # checksum
+        ("LI", "r4", 7),            # seed value
+        "loop:",
+        ("ST", "r4", "r1", 0),      # dmem[r1] = r4
+        ("LD", "r5", "r1", 0),      # r5 = dmem[r1]
+        ("ADD", "r3", "r3", "r5"),  # checksum += r5
+        ("ADDI", "r4", "r4", 3),    # mutate seed
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "loop"),
+        ("OUT", "r3"),
+        ("HALT",),
+    ])
+
+
+def boot_and_send_program(loop_count: int = 40,
+                          messages: int = 8) -> List[int]:
+    """The Rocket-tile workload for Table II: run the boot loop, then
+    stream ``messages`` values (1..messages) to the SoC subsystem, halt."""
+    if not 1 <= loop_count < 64 or not 1 <= messages < 64:
+        raise AsmError("loop_count/messages must be in [1, 63]")
+    return assemble([
+        # boot phase (same body as boot_program)
+        ("LI", "r1", 0),
+        ("LI", "r2", loop_count),
+        ("LI", "r3", 0),
+        ("LI", "r4", 7),
+        "boot:",
+        ("ST", "r4", "r1", 0),
+        ("LD", "r5", "r1", 0),
+        ("ADD", "r3", "r3", "r5"),
+        ("ADDI", "r4", "r4", 3),
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "boot"),
+        ("OUT", "r3"),
+        # stream phase
+        ("LI", "r1", 0),
+        ("LI", "r2", messages),
+        ("LI", "r3", 1),
+        "send:",
+        ("LD", "r4", "r0", ADDR_OUT_READY),
+        ("BEQ", "r4", "r0", "send"),
+        ("ST", "r3", "r0", ADDR_OUT_PUSH),
+        ("ADDI", "r3", "r3", 1),
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "send"),
+        ("HALT",),
+    ])
+
+
+def sender_program(count: int, stride: int = 1) -> List[int]:
+    """Stream ``count`` increasing values out of the tile queue, halt."""
+    if not 1 <= count < 64 or not 1 <= stride < 64:
+        raise AsmError("count/stride must be in [1, 63]")
+    return assemble([
+        ("LI", "r1", 0),           # sent
+        ("LI", "r2", count),
+        ("LI", "r3", 1),           # value
+        "loop:",
+        ("LD", "r4", "r0", ADDR_OUT_READY),
+        ("BEQ", "r4", "r0", "loop"),       # wait for queue space
+        ("ST", "r3", "r0", ADDR_OUT_PUSH),
+        ("ADDI", "r3", "r3", stride),
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "loop"),
+        ("OUT", "r1"),
+        ("HALT",),
+    ])
+
+
+def sink_program(count: int) -> List[int]:
+    """Receive ``count`` values from the tile queue, checksum, halt."""
+    if not 1 <= count < 64:
+        raise AsmError("count must be in [1, 63]")
+    return assemble([
+        ("LI", "r1", 0),           # received
+        ("LI", "r2", count),
+        ("LI", "r3", 0),           # checksum
+        "loop:",
+        ("LD", "r4", "r0", ADDR_IN_VALID),
+        ("BEQ", "r4", "r0", "loop"),
+        ("LD", "r5", "r0", ADDR_IN_POP),
+        ("ADD", "r3", "r3", "r5"),
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "loop"),
+        ("OUT", "r3"),
+        ("HALT",),
+    ])
+
+
+def forwarder_program() -> List[int]:
+    """Forever: pop a value from the input queue, push it out (the
+    leaky-DMA servers' packet-forwarding loop)."""
+    return assemble([
+        "loop:",
+        ("LD", "r4", "r0", ADDR_IN_VALID),
+        ("BEQ", "r4", "r0", "loop"),
+        ("LD", "r5", "r0", ADDR_IN_POP),
+        "wait_out:",
+        ("LD", "r4", "r0", ADDR_OUT_READY),
+        ("BEQ", "r4", "r0", "wait_out"),
+        ("ST", "r5", "r0", ADDR_OUT_PUSH),
+        ("OUT", "r5"),
+        ("JMP", "loop"),
+    ])
+
+
+def large_binary_program(count: int = 10) -> List[int]:
+    """The "larger binary" of the 24-core case study: exercises wide
+    right shifts (which small workloads never touch), sends a checksum of
+    the shifted values to the hub, then halts.  On the buggy core the
+    checksum is wrong, which the hub-side validation flags — the analogue
+    of the paper's supervisor-binary-interface trap."""
+    if not 1 <= count < 32:
+        raise AsmError("count must be in [1, 31]")
+    return assemble([
+        ("LI", "r1", 0),            # iterations
+        ("LI", "r2", count),
+        ("LI", "r3", 0),            # checksum
+        ("LI", "r6", 55),           # value seed
+        "loop:",
+        ("SHL", "r4", "r6", 9),     # spread bits high
+        ("SHR", "r5", "r4", 9),     # wide right shift: hits the bug
+        ("ADD", "r3", "r3", "r5"),
+        ("ADDI", "r6", "r6", 7),
+        ("ADDI", "r1", "r1", 1),
+        ("BNE", "r1", "r2", "loop"),
+        "send:",
+        ("LD", "r4", "r0", ADDR_OUT_READY),
+        ("BEQ", "r4", "r0", "send"),
+        ("ST", "r3", "r0", ADDR_OUT_PUSH),
+        ("OUT", "r3"),
+        ("HALT",),
+    ])
+
+
+def large_binary_reference_checksum(count: int = 10) -> int:
+    """Golden checksum for :func:`large_binary_program`."""
+    total = 0
+    value = 55
+    for _ in range(count):
+        spread = (value << 9) & 0xFFFF
+        total = (total + (spread >> 9)) & 0xFFFF
+        value = (value + 7) & 0xFFFF
+    return total
+
+
+def idle_program() -> List[int]:
+    """Spin forever (a parked core)."""
+    return assemble([
+        "loop:",
+        ("JMP", "loop"),
+    ])

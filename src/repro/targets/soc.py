@@ -1,0 +1,280 @@
+"""SoC builders: ring-NoC multicore SoCs, the Rocket-like tile SoC, and
+width-parametric boundary designs for the performance sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+from ..firrtl.builder import ModuleBuilder, make_circuit, mux
+from ..firrtl.circuit import Circuit, Module
+from .noc import (PAYLOAD, dest_bits, flit_width, make_converter,
+                  make_router, make_torus_router)
+from .primitives import make_queue
+from .programs import boot_program, sender_program, sink_program
+from .tinycore import make_tile
+
+
+def make_ring_noc_soc(n_tiles: int,
+                      tile_programs: Optional[Sequence[Sequence[int]]] = None,
+                      hub_program: Optional[Sequence[int]] = None,
+                      messages_per_tile: int = 4) -> Circuit:
+    """A multicore SoC: ``n_tiles`` TinyCore tiles on a unidirectional
+    ring NoC, plus a hub tile (the "SoC subsystem") at router index
+    ``n_tiles``.
+
+    By default every tile streams ``messages_per_tile`` values to the
+    hub, which checksums ``n_tiles * messages_per_tile`` receipts and
+    halts — so ``done``/``result`` witness full cross-NoC traffic.
+
+    Router instances are named ``router<i>``; partition this circuit with
+    ``PartitionSpec(noc=NoCPartitionSpec.make([[...indices...]]))``.
+    """
+    n_routers = n_tiles + 1
+    hub_id = n_tiles
+    if tile_programs is None:
+        tile_programs = [sender_program(messages_per_tile)
+                         for _ in range(n_tiles)]
+    if hub_program is None:
+        total = n_tiles * messages_per_tile
+        if total >= 64:
+            raise IRError(
+                "default hub sink program counts < 64 messages; pass a "
+                "custom hub_program for larger runs")
+        hub_program = sink_program(total)
+
+    library: List[Module] = []
+    b = ModuleBuilder(f"RingSoC_{n_tiles}t")
+    done = b.output("done", 1)
+    result = b.output("result", PAYLOAD)
+
+    routers = []
+    for i in range(n_routers):
+        rmod, rlib = make_router(i, n_routers)
+        library.append(rmod)
+        library.extend(rlib)
+        routers.append(b.inst(f"router{i}", rmod))
+
+    def attach_tile(idx: int, program: Sequence[int], dest: int,
+                    label: str):
+        tmod, tlib = make_tile(program, name=f"{label}Tile{idx}")
+        cmod = make_converter(dest, n_routers,
+                              name=f"Converter{idx}_n{n_routers}")
+        library.append(tmod)
+        library.extend(tlib)
+        library.append(cmod)
+        t = b.inst(f"tile{idx}", tmod)
+        c = b.inst(f"conv{idx}", cmod)
+        r = routers[idx]
+        b.connect(c["tile_in_valid"], t["net_out_valid"])
+        b.connect(c["tile_in_bits"], t["net_out_bits"])
+        b.connect(t["net_out_ready"], c["tile_in_ready"])
+        b.connect(t["net_in_valid"], c["tile_out_valid"])
+        b.connect(t["net_in_bits"], c["tile_out_bits"])
+        b.connect(c["tile_out_ready"], t["net_in_ready"])
+        b.connect(r["local_in_valid"], c["net_out_valid"])
+        b.connect(r["local_in_bits"], c["net_out_bits"])
+        b.connect(c["net_out_ready"], r["local_in_ready"])
+        b.connect(c["net_in_valid"], r["local_out_valid"])
+        b.connect(c["net_in_bits"], r["local_out_bits"])
+        b.connect(r["local_out_ready"], c["net_in_ready"])
+        return t
+
+    for i in range(n_tiles):
+        attach_tile(i, tile_programs[i], dest=hub_id, label="Core")
+    hub = attach_tile(hub_id, hub_program, dest=0, label="Hub")
+
+    # ring wiring: router i -> router (i+1) % N; credits flow backward
+    for i in range(n_routers):
+        nxt = routers[(i + 1) % n_routers]
+        cur = routers[i]
+        b.connect(nxt["ring_in_valid"], cur["ring_out_valid"])
+        b.connect(nxt["ring_in_bits"], cur["ring_out_bits"])
+        b.connect(cur["ring_credit_in"], nxt["ring_credit_out"])
+
+    b.connect(done, hub["done"])
+    b.connect(result, hub["result"])
+    return make_circuit(b.build(), library)
+
+
+def make_torus_noc_soc(n_tiles: int,
+                       messages_per_tile: int = 4) -> Circuit:
+    """Like :func:`make_ring_noc_soc` but over the bidirectional torus
+    routers (shortest-path routing both ways around the ring) — the
+    Fig. 9 "Ring" bus configuration at RTL tier."""
+    n_routers = n_tiles + 1
+    hub_id = n_tiles
+    total = n_tiles * messages_per_tile
+    if total >= 64:
+        raise IRError("hub sink program counts < 64 messages")
+    library: List[Module] = []
+    b = ModuleBuilder(f"TorusSoC_{n_tiles}t")
+    done = b.output("done", 1)
+    result = b.output("result", PAYLOAD)
+
+    routers = []
+    for i in range(n_routers):
+        rmod, rlib = make_torus_router(i, n_routers)
+        library.append(rmod)
+        library.extend(rlib)
+        routers.append(b.inst(f"router{i}", rmod))
+
+    def attach(idx, program, dest, label):
+        tmod, tlib = make_tile(program, name=f"{label}TorusTile{idx}")
+        cmod = make_converter(dest, n_routers,
+                              name=f"TorusConv{idx}_n{n_routers}")
+        library.append(tmod)
+        library.extend(tlib)
+        library.append(cmod)
+        t = b.inst(f"tile{idx}", tmod)
+        c = b.inst(f"conv{idx}", cmod)
+        r = routers[idx]
+        b.connect(c["tile_in_valid"], t["net_out_valid"])
+        b.connect(c["tile_in_bits"], t["net_out_bits"])
+        b.connect(t["net_out_ready"], c["tile_in_ready"])
+        b.connect(t["net_in_valid"], c["tile_out_valid"])
+        b.connect(t["net_in_bits"], c["tile_out_bits"])
+        b.connect(c["tile_out_ready"], t["net_in_ready"])
+        b.connect(r["local_in_valid"], c["net_out_valid"])
+        b.connect(r["local_in_bits"], c["net_out_bits"])
+        b.connect(c["net_out_ready"], r["local_in_ready"])
+        b.connect(c["net_in_valid"], r["local_out_valid"])
+        b.connect(c["net_in_bits"], r["local_out_bits"])
+        b.connect(r["local_out_ready"], c["net_in_ready"])
+        return t
+
+    for i in range(n_tiles):
+        attach(i, sender_program(messages_per_tile), hub_id, "Core")
+    hub = attach(hub_id, sink_program(total), 0, "Hub")
+
+    # clockwise direction: i -> i+1; counter-clockwise: i -> i-1;
+    # credits flow back against each direction
+    for i in range(n_routers):
+        nxt = routers[(i + 1) % n_routers]
+        prv = routers[(i - 1) % n_routers]
+        cur = routers[i]
+        b.connect(nxt["cw_in_valid"], cur["cw_out_valid"])
+        b.connect(nxt["cw_in_bits"], cur["cw_out_bits"])
+        b.connect(cur["cw_credit_in"], nxt["cw_credit_out"])
+        b.connect(prv["ccw_in_valid"], cur["ccw_out_valid"])
+        b.connect(prv["ccw_in_bits"], cur["ccw_out_bits"])
+        b.connect(cur["ccw_credit_in"], prv["ccw_credit_out"])
+
+    b.connect(done, hub["done"])
+    b.connect(result, hub["result"])
+    return make_circuit(b.build(), library)
+
+
+def make_rocket_like_soc(boot_loops: int = 40,
+                         messages: int = 8) -> Circuit:
+    """The Table II "Rocket tile (Linux boot)" stand-in: one core tile
+    running a boot workload then streaming results to the SoC subsystem
+    (a sink), connected by plain ready-valid links.
+
+    Partition path for the tile: ``"rockettile"``.
+    """
+    from .programs import boot_and_send_program
+
+    tile_mod, tile_lib = make_tile(
+        boot_and_send_program(boot_loops, messages), name="RocketTile")
+    hub_mod, hub_lib = make_tile(sink_program(messages), name="SocHub")
+    b = ModuleBuilder("RocketSoC")
+    done = b.output("done", 1)
+    result = b.output("result", PAYLOAD)
+    t = b.inst("rockettile", tile_mod)
+    h = b.inst("subsystem", hub_mod)
+    b.connect(h["net_in_valid"], t["net_out_valid"])
+    b.connect(h["net_in_bits"], t["net_out_bits"])
+    b.connect(t["net_out_ready"], h["net_in_ready"])
+    b.connect(t["net_in_valid"], h["net_out_valid"])
+    b.connect(t["net_in_bits"], h["net_out_bits"])
+    b.connect(h["net_out_ready"], t["net_in_ready"])
+    b.connect(done, h["done"] & t["done"])
+    b.connect(result, h["result"])
+    return make_circuit(b.build(), [tile_mod, hub_mod]
+                        + tile_lib + hub_lib)
+
+
+def make_star_soc(n_tiles: int, messages_per_tile: int = 5) -> Circuit:
+    """``n_tiles`` identical sender tiles feeding a hub through a
+    round-robin arbiter — the duplicate-module SoC used for the FAME-5
+    amortization study (Fig. 14).  Tiles are named ``tile<i>`` so each can
+    be selected as its own partition group and then FAME-5 merged.
+    """
+    total = n_tiles * messages_per_tile
+    if total >= 64:
+        raise IRError("star SoC hub counts < 64 messages")
+    tile_mod, tile_lib = make_tile(sender_program(messages_per_tile),
+                                   name="StarTile")
+    hub_mod, hub_lib = make_tile(sink_program(total), name="StarHub")
+    b = ModuleBuilder(f"StarSoC_{n_tiles}t")
+    done = b.output("done", 1)
+    result = b.output("result", PAYLOAD)
+    hub = b.inst("hub", hub_mod)
+    tiles = [b.inst(f"tile{i}", tile_mod) for i in range(n_tiles)]
+
+    rr_w = max((n_tiles - 1).bit_length(), 1)
+    rr = b.reg("rr", rr_w)
+    b.connect(rr, mux(rr.eq(n_tiles - 1), b.lit(0, rr_w), rr + 1))
+
+    sel_valid = tiles[0]["net_out_valid"].read()
+    sel_bits = tiles[0]["net_out_bits"].read()
+    for i in range(1, n_tiles):
+        cond = rr.eq(i)
+        sel_valid = mux(cond, tiles[i]["net_out_valid"].read(), sel_valid)
+        sel_bits = mux(cond, tiles[i]["net_out_bits"].read(), sel_bits)
+    b.connect(hub["net_in_valid"], sel_valid)
+    b.connect(hub["net_in_bits"], sel_bits)
+    for i in range(n_tiles):
+        b.connect(tiles[i]["net_out_ready"],
+                  rr.eq(i) & hub["net_in_ready"].read())
+        b.connect(tiles[i]["net_in_valid"], 0)
+        b.connect(tiles[i]["net_in_bits"], 0)
+    b.connect(hub["net_out_ready"], 0)
+    b.connect(done, hub["done"])
+    b.connect(result, hub["result"])
+    return make_circuit(b.build(), [tile_mod, hub_mod]
+                        + tile_lib + hub_lib)
+
+
+def make_wide_pair(width: int, comb_boundary: bool = False) -> Circuit:
+    """Width-parametric two-module design for the Fig. 11/12 sweeps.
+
+    ``Left`` and ``Right`` exchange ``width``-bit buses every cycle.  With
+    ``comb_boundary=False`` both directions are registered (a pure
+    latency-insensitive boundary); with True, the left half combs its
+    incoming bus into its outgoing one (its output becomes a legal
+    exact-mode *sink out*, exercising the two-crossing behaviour without
+    tripping the chain-length check).
+
+    Partition path for the right half: ``"right"``.
+    """
+    def half(name: str, seed: int, comb: bool) -> Module:
+        hb = ModuleBuilder(name)
+        bus_in = hb.input("bus_in", width)
+        bus_out = hb.output("bus_out", width)
+        check = hb.output("check", 32)
+        state = hb.reg("state", width, init=seed)
+        acc = hb.reg("acc", 32)
+        if comb:
+            hb.connect(bus_out, state ^ bus_in)
+        else:
+            hb.connect(bus_out, state)
+        hb.connect(state, state + bus_in)
+        hb.connect(acc, acc + bus_in.read().trunc(16))
+        hb.connect(check, acc)
+        return hb.build()
+
+    left = half("WideLeft", 1, comb_boundary)
+    right = half("WideRight", 2, False)
+    b = ModuleBuilder("WidePairTop")
+    check_l = b.output("check_l", 32)
+    check_r = b.output("check_r", 32)
+    l = b.inst("left", left)
+    r = b.inst("right", right)
+    b.connect(r["bus_in"], l["bus_out"])
+    b.connect(l["bus_in"], r["bus_out"])
+    b.connect(check_l, l["check"])
+    b.connect(check_r, r["check"])
+    return make_circuit(b.build(), [left, right])

@@ -1,0 +1,207 @@
+"""TinyCore: a small single-cycle RISC-style core, plus its tile.
+
+This is the RTL-tier stand-in for a Rocket/BOOM tile: a real fetch-
+decode-execute core running assembled programs from
+:mod:`repro.targets.programs`, with queue MMIO so tiles can talk over a
+bus or NoC.  The *tile* wraps the core with input/output queues, giving
+it the decoupled ready-valid boundary that FireRipper's fast-mode (and
+NoC-partition-mode) exploit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..firrtl.builder import ModuleBuilder, Signal, mux
+from ..firrtl.circuit import Module
+from .primitives import make_queue
+from .programs import (
+    ADDR_IN_POP,
+    ADDR_IN_VALID,
+    ADDR_OUT_PUSH,
+    ADDR_OUT_READY,
+)
+
+WORD = 16
+IMEM_DEPTH = 64
+DMEM_DEPTH = 64
+
+
+def make_tiny_core(program: Sequence[int],
+                   name: str = "TinyCore",
+                   shift_bug: bool = False) -> Module:
+    """Build the core with ``program`` baked into its instruction ROM.
+
+    Ports: ``done``/``result`` for observation; ``in_valid/in_bits/
+    in_ready`` and ``out_valid/out_bits/out_ready`` for the queue MMIO
+    described in :mod:`repro.targets.programs`.
+
+    ``shift_bug=True`` plants the 24-core case-study RTL bug: right
+    shifts by 8 or more lose a bit position (off-by-one in the shifter's
+    upper mux).  Small workloads never execute wide shifts, so — like the
+    paper's bug, which only appeared once larger binaries were loaded —
+    it stays hidden until a "large binary" runs (Sec. V-A).
+    """
+    b = ModuleBuilder(name)
+    done_out = b.output("done", 1)
+    result_out = b.output("result", WORD)
+    in_valid = b.input("in_valid", 1)
+    in_bits = b.input("in_bits", WORD)
+    in_ready = b.output("in_ready", 1)
+    out_valid = b.output("out_valid", 1)
+    out_bits = b.output("out_bits", WORD)
+    out_ready = b.input("out_ready", 1)
+
+    pc = b.reg("pc", 6)
+    halted = b.reg("halted", 1)
+    result = b.reg("result_r", WORD)
+
+    imem = b.mem("imem", IMEM_DEPTH, WORD, init=list(program))
+    instr = b.mem_read(imem, "instr", pc)
+
+    op = b.node("op", instr.bits(15, 12))
+    rd = b.node("rd", instr.bits(11, 9))
+    ra = b.node("ra", instr.bits(8, 6))
+    rb = b.node("rb", instr.bits(5, 3))
+    imm = b.node("imm", instr.bits(5, 0))
+
+    regfile = b.mem("regfile", 8, WORD)
+    rf_ra = b.mem_read(regfile, "rf_ra", ra)
+    rf_rb = b.mem_read(regfile, "rf_rb", rb)
+    rf_rd = b.mem_read(regfile, "rf_rd", rd)
+
+    running = b.node("running", ~halted)
+
+    def is_op(code: int, label: str) -> Signal:
+        return b.node(f"is_{label}", op.eq(code))
+
+    is_halt = is_op(0x0, "halt")
+    is_addi = is_op(0x1, "addi")
+    is_add = is_op(0x2, "add")
+    is_sub = is_op(0x3, "sub")
+    is_and = is_op(0x4, "and")
+    is_or = is_op(0x5, "or")
+    is_xor = is_op(0x6, "xor")
+    is_ld = is_op(0x7, "ld")
+    is_st = is_op(0x8, "st")
+    is_beq = is_op(0x9, "beq")
+    is_bne = is_op(0xA, "bne")
+    is_jmp = is_op(0xB, "jmp")
+    is_li = is_op(0xC, "li")
+    is_out = is_op(0xD, "out")
+    is_shl = is_op(0xE, "shl")
+    is_shr = is_op(0xF, "shr")
+
+    # data memory with MMIO window
+    dmem = b.mem("dmem", DMEM_DEPTH, WORD)
+    addr = b.node("addr", (rf_ra + imm).bits(5, 0))
+    dval = b.mem_read(dmem, "dval", addr)
+
+    mmio_in_valid = b.node("mmio_in_valid", addr.eq(ADDR_IN_VALID))
+    mmio_in_pop = b.node("mmio_in_pop", addr.eq(ADDR_IN_POP))
+    mmio_out_ready = b.node("mmio_out_ready", addr.eq(ADDR_OUT_READY))
+    mmio_out_push = b.node("mmio_out_push", addr.eq(ADDR_OUT_PUSH))
+
+    ld_value = b.node(
+        "ld_value",
+        mux(mmio_in_valid, in_valid.read().pad(WORD),
+            mux(mmio_in_pop, in_bits.read(),
+                mux(mmio_out_ready, out_ready.read().pad(WORD), dval))))
+
+    shamt = b.node("shamt", imm.bits(3, 0))
+    if shift_bug:
+        # the planted bug: for shift amounts >= 8 the shifter drops one
+        # position (shifts by shamt - 1)
+        buggy_shamt = b.node(
+            "buggy_shamt",
+            mux(shamt.geq(8), (shamt - 1).trunc(4), shamt))
+        shr_value = rf_ra.dshr(buggy_shamt)
+    else:
+        shr_value = rf_ra.dshr(shamt)
+    alu = b.node(
+        "alu",
+        mux(is_addi, rf_ra + imm,
+            mux(is_add, rf_ra + rf_rb,
+                mux(is_sub, rf_ra - rf_rb,
+                    mux(is_and, rf_ra & rf_rb,
+                        mux(is_or, rf_ra | rf_rb,
+                            mux(is_xor, rf_ra ^ rf_rb,
+                                mux(is_li, imm.pad(WORD),
+                                    mux(is_shl, rf_ra.dshl(shamt),
+                                        shr_value)))))))).trunc(WORD))
+
+    wb_en = b.node(
+        "wb_en",
+        running & (is_addi | is_add | is_sub | is_and | is_or | is_xor
+                   | is_li | is_shl | is_shr | is_ld))
+    wb_val = b.node("wb_val", mux(is_ld, ld_value, alu))
+    b.mem_write(regfile, rd, wb_val, wb_en)
+
+    dmem_wen = b.node("dmem_wen",
+                      running & is_st & ~mmio_out_push)
+    b.mem_write(dmem, addr, rf_rd, dmem_wen)
+
+    # queue MMIO handshakes
+    b.connect(out_valid, running & is_st & mmio_out_push)
+    b.connect(out_bits, rf_rd)
+    b.connect(in_ready, running & is_ld & mmio_in_pop)
+
+    # control flow
+    eq = b.node("cmp_eq", rf_ra.eq(rf_rd))
+    taken = b.node("taken",
+                   (is_beq & eq) | (is_bne & ~eq) | is_jmp)
+    pc_next = b.node(
+        "pc_next",
+        mux(~running | is_halt, pc.read(),
+            mux(taken, imm, pc + 1)).trunc(6))
+    b.connect(pc, pc_next)
+    b.connect(halted, halted | (running & is_halt))
+    b.connect(result, mux(running & is_out, rf_rd, result))
+    b.connect(done_out, halted)
+    b.connect(result_out, result)
+    return b.build()
+
+
+def make_tile(program: Sequence[int], name: str = "Tile",
+              queue_depth: int = 4,
+              shift_bug: bool = False) -> Tuple[Module, List[Module]]:
+    """Wrap a TinyCore with in/out network queues.
+
+    Returns ``(tile_module, library)``; the tile's network interface is a
+    ready-valid pair ``net_in_*`` / ``net_out_*``, fully registered behind
+    queues (a latency-insensitive boundary).
+    """
+    core = make_tiny_core(program, name=f"{name}_Core",
+                          shift_bug=shift_bug)
+    inq = make_queue(WORD, depth=queue_depth, name=f"{name}_InQ")
+    outq = make_queue(WORD, depth=queue_depth, name=f"{name}_OutQ")
+
+    b = ModuleBuilder(name)
+    done = b.output("done", 1)
+    result = b.output("result", WORD)
+    net_in = b.rv_input("net_in", WORD)
+    net_out = b.rv_output("net_out", WORD)
+
+    c = b.inst("core", core)
+    qi = b.inst("inq", inq)
+    qo = b.inst("outq", outq)
+
+    # network -> input queue -> core
+    b.connect(qi["enq_valid"], net_in.valid)
+    b.connect(qi["enq_bits"], net_in.bits)
+    b.connect(net_in.ready, qi["enq_ready"])
+    b.connect(c["in_valid"], qi["deq_valid"])
+    b.connect(c["in_bits"], qi["deq_bits"])
+    b.connect(qi["deq_ready"], c["in_ready"])
+
+    # core -> output queue -> network
+    b.connect(qo["enq_valid"], c["out_valid"])
+    b.connect(qo["enq_bits"], c["out_bits"])
+    b.connect(c["out_ready"], qo["enq_ready"])
+    b.connect(net_out.valid, qo["deq_valid"])
+    b.connect(net_out.bits, qo["deq_bits"])
+    b.connect(qo["deq_ready"], net_out.ready)
+
+    b.connect(done, c["done"])
+    b.connect(result, c["result"])
+    return b.build(), [core, inq, outq]

@@ -1,0 +1,32 @@
+"""Microarchitectural performance models for the paper's case studies.
+
+The RTL tier (:mod:`repro.targets`) exercises FireRipper with real cycle
+counts; this tier reproduces the *system-level effects* of Sec. V that in
+the paper come from simulating BOOM SoCs on FPGAs:
+
+* :mod:`~repro.uarch.params` / :mod:`~repro.uarch.ooo` — Table I core
+  configurations and a trace-driven out-of-order pipeline model with
+  TIP-style CPI-stack attribution (Figs. 7-8),
+* :mod:`~repro.uarch.cache` / :mod:`~repro.uarch.nic` /
+  :mod:`~repro.uarch.interconnect` / :mod:`~repro.uarch.ddio` — the
+  DDIO/leaky-DMA study (Fig. 9),
+* :mod:`~repro.uarch.golang` / :mod:`~repro.uarch.sched` — the Go
+  garbage-collection tail-latency study (Fig. 10).
+"""
+
+from .params import CoreParams, GC40_BOOM, GC_XEON, LARGE_BOOM
+from .workloads import EMBENCH, Workload
+from .ooo import OoOCoreModel, PipelineResult
+from .cpistack import CPIStack
+
+__all__ = [
+    "CoreParams",
+    "LARGE_BOOM",
+    "GC40_BOOM",
+    "GC_XEON",
+    "Workload",
+    "EMBENCH",
+    "OoOCoreModel",
+    "PipelineResult",
+    "CPIStack",
+]

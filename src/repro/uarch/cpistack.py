@@ -1,0 +1,65 @@
+"""TIP-style CPI stacks (the profiler integrated into FireAxe, Fig. 8).
+
+The paper integrates TIP (Time-Proportional Instruction Profiling) into
+FireAxe to attribute core cycles to causes.  Our pipeline model records
+the binding constraint of every commit gap, which is the same
+time-proportional attribution: each elapsed cycle is charged to exactly
+one cause, so the per-category stack sums to the measured CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .ooo import CATEGORIES, OoOCoreModel, PipelineResult
+from .params import CoreParams
+from .workloads import Workload
+
+
+@dataclass
+class CPIStack:
+    """One bar of Fig. 8: a per-cause CPI breakdown."""
+
+    core: str
+    workload: str
+    components: Dict[str, float]
+
+    @property
+    def total_cpi(self) -> float:
+        return sum(self.components.values())
+
+    def normalized(self) -> Dict[str, float]:
+        total = self.total_cpi or 1.0
+        return {k: v / total for k, v in self.components.items()}
+
+    @staticmethod
+    def from_result(result: PipelineResult) -> "CPIStack":
+        return CPIStack(core=result.core, workload=result.workload,
+                        components=result.cpi_stack())
+
+
+def cpi_stacks(cores: Sequence[CoreParams], workloads: Sequence[Workload],
+               n_instr: int = 60_000, seed: int = 7) -> List[CPIStack]:
+    """Compute CPI stacks for every (core, workload) pair."""
+    out: List[CPIStack] = []
+    for wl in workloads:
+        for core in cores:
+            result = OoOCoreModel(core).run(wl, n_instr=n_instr, seed=seed)
+            out.append(CPIStack.from_result(result))
+    return out
+
+
+def render_stacks(stacks: Sequence[CPIStack]) -> str:
+    """ASCII rendering of CPI stacks (one row per core x workload)."""
+    lines = []
+    header = f"{'workload':<16}{'core':<12}" + "".join(
+        f"{c:>11}" for c in CATEGORIES) + f"{'CPI':>8}"
+    lines.append(header)
+    for s in stacks:
+        row = f"{s.workload:<16}{s.core:<12}"
+        for c in CATEGORIES:
+            row += f"{s.components.get(c, 0.0):>11.3f}"
+        row += f"{s.total_cpi:>8.3f}"
+        lines.append(row)
+    return "\n".join(lines)

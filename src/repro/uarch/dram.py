@@ -1,0 +1,33 @@
+"""DRAM model: fixed access latency plus a bandwidth-limited channel.
+
+A single channel serves one cache line per ``service_ns``; requests queue
+when the channel is busy.  This is where leaky-DMA traffic lands once the
+DDIO ways thrash, so its queueing is what amplifies the latency curves in
+Fig. 9 at high core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DRAMModel:
+    """Cursor-based DRAM channel."""
+
+    latency_ns: float = 120.0
+    service_ns: float = 3.0
+    next_free: float = 0.0
+    accesses: int = 0
+    busy_ns: float = 0.0
+
+    def access(self, now: float) -> float:
+        """Issue one line access at ``now``; returns completion time."""
+        start = max(now, self.next_free)
+        self.next_free = start + self.service_ns
+        self.accesses += 1
+        self.busy_ns += self.service_ns
+        return start + self.latency_ns
+
+    def utilization(self, horizon_ns: float) -> float:
+        return self.busy_ns / horizon_ns if horizon_ns > 0 else 0.0

@@ -1,0 +1,179 @@
+"""Go runtime model: goroutines, GOMAXPROCS, and garbage collection.
+
+Reproduces the benchmark of Sec. V-D (golang/go issue #18534): a main
+goroutine is woken by a periodic 10 us tick and allocates heap objects,
+stressing the collector.  We measure the delay between the scheduled tick
+and the completion of its handler, and report tail percentiles across a
+GOMAXPROCS x CPU-affinity grid (Fig. 10).
+
+The mechanisms modelled:
+
+* **GOMAXPROCS = 1** — every goroutine, including the GC worker, shares
+  one logical processor.  GC mark work runs in chunks that (in the Go
+  version of the issue) are not preemptible, so ticks landing inside a
+  chunk wait it out: the famous multi-millisecond spikes.
+* **GOMAXPROCS > 1, threads spread over cores** — the GC worker runs on
+  another core, so ticks only wait for the stop-the-world phases; but
+  every wakeup crosses cores, the GC's heap marking steals cache
+  ownership (coherence inflation on a weak memory subsystem), and the
+  load balancer occasionally migrates the main thread.
+* **GOMAXPROCS > 1, pinned to one core** — the OS timeslices both
+  threads on one core; wakeup preemption is fast and caches stay warm,
+  so despite losing parallelism the tail is *lower* — the paper's
+  surprising result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .sched import AffinityCostModel, CoreSet
+
+
+@dataclass(frozen=True)
+class GoGCConfig:
+    """Benchmark configuration (times in microseconds)."""
+
+    gomaxprocs: int = 1
+    affinity_cores: int = 1
+    tick_period_us: float = 10.0
+    tick_work_us: float = 2.0
+    duration_ms: float = 400.0
+    #: allocation-driven GC cadence and cost
+    gc_period_us: float = 30_000.0
+    gc_cpu_us: float = 18_000.0
+    gc_chunk_us: float = 9_000.0   # non-preemptible mark chunk
+    stw_us: float = 900.0          # each of the two stop-the-world phases
+    #: GC assist work the allocating goroutine must do per tick while a
+    #: cycle is active (GOMAXPROCS > 1 only; at 1 the worker owns the P)
+    assist_us: float = 2.0
+    seed: int = 11
+
+    @property
+    def label(self) -> str:
+        return (f"GOMAXPROCS={self.gomaxprocs}, "
+                f"{self.affinity_cores} core"
+                f"{'s' if self.affinity_cores > 1 else ''}")
+
+
+@dataclass
+class GoGCResult:
+    """Tail-latency summary for one configuration (values in ms)."""
+
+    config: GoGCConfig
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    samples: int
+
+    def as_row(self) -> Tuple[str, float, float]:
+        return (self.config.label, self.p95_ms, self.p99_ms)
+
+
+def run_benchmark(config: GoGCConfig,
+                  costs: AffinityCostModel = AffinityCostModel()
+                  ) -> GoGCResult:
+    """Simulate the ticker benchmark; returns tail percentiles."""
+    rng = np.random.default_rng(config.seed)
+    cores = CoreSet(min(config.affinity_cores, config.gomaxprocs)
+                    if config.gomaxprocs == 1 else config.affinity_cores)
+    single_core = cores.single or config.gomaxprocs == 1
+
+    # GC cycle schedule: [start, start+stw] STW1, mark phase, STW2.
+    # With GOMAXPROCS=1 the mark phase occupies the only P in
+    # non-preemptible chunks; otherwise it runs on a sibling thread.
+    duration_us = config.duration_ms * 1e3
+    gc_starts = np.arange(config.gc_period_us, duration_us,
+                          config.gc_period_us)
+
+    latencies: List[float] = []
+    t = config.tick_period_us
+    tick_index = 0
+
+    def gc_phase(at: float) -> Tuple[str, float]:
+        """Phase of the GC cycle at time ``at``: returns (phase, t_end).
+
+        Cycles begin at k * gc_period for k >= 1: STW, mark, STW, idle.
+        """
+        i = int(at // config.gc_period_us)
+        if i == 0:
+            return "idle", config.gc_period_us
+        start = i * config.gc_period_us
+        rel = at - start
+        mark_wall = config.gc_cpu_us
+        if rel < config.stw_us:
+            return "stw", start + config.stw_us
+        if rel < config.stw_us + mark_wall:
+            return "mark", start + config.stw_us + mark_wall
+        if rel < 2 * config.stw_us + mark_wall:
+            return "stw", start + 2 * config.stw_us + mark_wall
+        return "idle", start + config.gc_period_us
+
+    # the handler's own work (a few us) never exceeds the tick period,
+    # so ticks are independent samples: latency(t) = blocking + wakeup
+    # + (cache-affected) work
+    migration_period = max(
+        20, costs.migration_period_ticks
+        // max(1, config.affinity_cores - 1))
+    while t < duration_us:
+        tick_index += 1
+        phase, phase_end = gc_phase(t)
+
+        start = t
+        if phase == "stw":
+            # nothing runs during stop-the-world
+            start = phase_end
+        elif phase == "mark" and config.gomaxprocs == 1:
+            # the non-preemptible mark chunk owns the only P; the tick
+            # handler runs at the next chunk boundary
+            chunk_pos = start % config.gc_chunk_us
+            start = min(start + (config.gc_chunk_us - chunk_pos),
+                        phase_end)
+
+        start += costs.wakeup_latency(single_core)
+
+        data_remote = (not single_core) and phase == "mark"
+        migrated = (not single_core) and (
+            tick_index % migration_period == 0)
+        work = costs.work_us(config.tick_work_us, data_remote, migrated)
+        if phase == "mark" and config.gomaxprocs > 1:
+            work += config.assist_us * (costs.coherence_inflation
+                                        if data_remote else 1.0)
+        if migrated:
+            work += costs.migration_window_us
+        # small scheduler noise so percentiles are well-defined
+        work += float(rng.exponential(2.0))
+
+        latencies.append(start + work - t)
+        t += config.tick_period_us
+
+    arr = np.array(latencies) / 1e3  # -> ms
+    return GoGCResult(
+        config=config,
+        p50_ms=float(np.percentile(arr, 50)),
+        p95_ms=float(np.percentile(arr, 95)),
+        p99_ms=float(np.percentile(arr, 99)),
+        max_ms=float(arr.max()),
+        samples=len(arr),
+    )
+
+
+def fig10_grid(duration_ms: float = 400.0) -> List[GoGCResult]:
+    """The Fig. 10 configuration grid."""
+    grid = [
+        GoGCConfig(gomaxprocs=1, affinity_cores=1,
+                   duration_ms=duration_ms),
+        GoGCConfig(gomaxprocs=2, affinity_cores=1,
+                   duration_ms=duration_ms),
+        GoGCConfig(gomaxprocs=2, affinity_cores=2,
+                   duration_ms=duration_ms),
+        GoGCConfig(gomaxprocs=4, affinity_cores=1,
+                   duration_ms=duration_ms),
+        GoGCConfig(gomaxprocs=4, affinity_cores=4,
+                   duration_ms=duration_ms),
+    ]
+    return [run_benchmark(cfg) for cfg in grid]

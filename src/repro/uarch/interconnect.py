@@ -1,0 +1,118 @@
+"""Transaction-level interconnect fabrics: crossbar vs ring.
+
+The two bus topologies compared in Fig. 9:
+
+* :class:`XbarFabric` — a monolithic crossbar in front of a single-ported
+  LLC: minimal per-transaction latency, but every agent serializes on the
+  one LLC port, and the arbiter slows slightly as its fan-in grows.
+* :class:`RingFabric` — a bidirectional torus of router stops with the
+  LLC banked across several stops: several cycles of hop latency per
+  transaction (higher cost under low load), but requests distribute over
+  banks and links, so it saturates much later (scales better under load).
+
+Both expose ``traverse(src, now, addr) -> (arrival_ns, bank_id)``: the
+time the request reaches the LLC port/bank, including fabric queueing.
+The response path is modelled symmetrically with half the contention (a
+dedicated response network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class Fabric:
+    """Interface shared by both fabrics."""
+
+    n_banks: int = 1
+
+    def traverse(self, src: int, now: float, addr: int
+                 ) -> Tuple[float, int]:
+        raise NotImplementedError
+
+    def respond(self, bank: int, now: float, dst: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class XbarFabric(Fabric):
+    """Crossbar with one LLC port.
+
+    ``arb_ns`` grows with fan-in: wide arbiters take longer to decide
+    (the per-transaction price stays small, but it is one shared queue).
+    """
+
+    n_ports: int
+    base_ns: float = 3.0
+    arb_per_port_ns: float = 0.2
+    port_service_ns: float = 4.4
+    port_next_free: float = 0.0
+    n_banks: int = 1
+
+    def traverse(self, src: int, now: float, addr: int
+                 ) -> Tuple[float, int]:
+        arb = self.base_ns + self.arb_per_port_ns * self.n_ports
+        request_at = now + arb
+        start = max(request_at, self.port_next_free)
+        self.port_next_free = start + self.port_service_ns
+        return start + self.port_service_ns, 0
+
+    def respond(self, bank: int, now: float, dst: int) -> float:
+        return now + self.base_ns + self.arb_per_port_ns * self.n_ports
+
+
+@dataclass
+class RingFabric(Fabric):
+    """Bidirectional torus with shortest-path routing and banked LLC.
+
+    ``n_stops`` router stops; agents and ``n_banks`` LLC banks are spread
+    around the ring.  Each link forwards one flit per ``link_service_ns``;
+    shortest-path distance sets the hop count.
+    """
+
+    n_stops: int
+    n_banks: int = 8
+    hop_ns: float = 12.0
+    link_service_ns: float = 1.0
+    bank_service_ns: float = 4.0
+    link_next_free: List[float] = field(default_factory=list)
+    bank_next_free: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.link_next_free:
+            self.link_next_free = [0.0] * self.n_stops
+        if not self.bank_next_free:
+            self.bank_next_free = [0.0] * self.n_banks
+
+    def _bank_stop(self, bank: int) -> int:
+        return (bank * self.n_stops) // self.n_banks
+
+    def _hops(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.n_stops - d)
+
+    def traverse(self, src: int, now: float, addr: int
+                 ) -> Tuple[float, int]:
+        bank = (addr // 64) % self.n_banks
+        src_stop = src % self.n_stops
+        dst_stop = self._bank_stop(bank)
+        hops = self._hops(src_stop, dst_stop)
+        t = now
+        # traverse the links along the shortest path, queueing per stop
+        step = 1 if (dst_stop - src_stop) % self.n_stops \
+            <= self.n_stops // 2 else -1
+        stop = src_stop
+        for _ in range(hops):
+            start = max(t, self.link_next_free[stop])
+            self.link_next_free[stop] = start + self.link_service_ns
+            t = start + self.hop_ns
+            stop = (stop + step) % self.n_stops
+        start = max(t, self.bank_next_free[bank])
+        self.bank_next_free[bank] = start + self.bank_service_ns
+        return start + self.bank_service_ns, bank
+
+    def respond(self, bank: int, now: float, dst: int) -> float:
+        hops = self._hops(self._bank_stop(bank), dst % self.n_stops)
+        # the response network is dedicated; only hop latency applies
+        return now + hops * self.hop_ns

@@ -1,0 +1,247 @@
+"""Trace-driven out-of-order pipeline performance model.
+
+A constraint-propagation superscalar model: each instruction's fetch,
+dispatch, execute and commit times are the max of its structural and data
+constraints (fetch bandwidth and buffer, frontend depth, branch-redirect
+barriers, dispatch width, ROB/LQ/SQ occupancy, operand readiness,
+functional-unit throughput, memory latency, commit width).  One forward
+pass computes all times in O(n); the binding constraint at each stage is
+recorded, giving a TIP-style attribution of every commit-gap cycle to a
+cause — the CPI stacks of Fig. 8.
+
+This is a *performance model*, not RTL: it stands in for the BOOM cores
+the paper simulates on FPGAs, parameterized by the same Table I numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .params import CoreParams
+from .workloads import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_MUL,
+    KIND_STORE,
+    Workload,
+)
+
+#: CPI-stack categories
+CAT_BASE = "base"
+CAT_FRONTEND = "frontend"
+CAT_BRANCH = "branch"
+CAT_EXEC = "execution"
+CAT_MEMORY = "memory"
+CAT_WINDOW = "window"
+CATEGORIES = (CAT_BASE, CAT_FRONTEND, CAT_BRANCH, CAT_EXEC,
+              CAT_MEMORY, CAT_WINDOW)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one modelled run."""
+
+    core: str
+    workload: str
+    instructions: int
+    cycles: int
+    stack_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(self.cycles, 1)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(self.instructions, 1)
+
+    def cpi_stack(self) -> Dict[str, float]:
+        """Per-category CPI contributions (sums to ~CPI)."""
+        return {cat: cyc / max(self.instructions, 1)
+                for cat, cyc in self.stack_cycles.items()}
+
+    def runtime_seconds(self, total_instructions: int,
+                        clock_ghz: float) -> float:
+        """Extrapolate wall time for the full benchmark at a clock."""
+        return total_instructions * self.cpi / (clock_ghz * 1e9)
+
+
+class OoOCoreModel:
+    """Pipeline model for one :class:`CoreParams` configuration."""
+
+    def __init__(self, params: CoreParams):
+        self.params = params
+
+    def run(self, workload: Workload, n_instr: int = 60_000,
+            seed: int = 7) -> PipelineResult:
+        """Model ``n_instr`` instructions of ``workload``."""
+        p = self.params
+        t = workload.trace(n_instr, seed)
+        kind = t["kind"]
+        dep1 = t["dep1"]
+        dep2 = t["dep2"]
+        mispredict = t["mispredict"]
+        if p.bpred_factor < 1.0:
+            # a better predictor converts a fraction of mispredicts into
+            # correct predictions (deterministically by index)
+            keep = np.arange(n_instr) % 100 < p.bpred_factor * 100
+            mispredict = mispredict & keep
+        l1_miss = t["l1_miss"]
+        l2_miss = t["l2_miss"]
+        icache_miss = t["icache_miss"]
+
+        n = n_instr
+        fetch_t = [0] * n
+        fetch_cause = [CAT_FRONTEND] * n
+        dispatch_t = [0] * n
+        complete_t = [0] * n
+        complete_cause = [CAT_BASE] * n
+        commit_t = [0] * n
+
+        fw = p.fetch_width
+        iw = p.issue_width
+        cw = p.commit_width
+        rob = p.rob_entries
+        fbuf = p.fetch_buffer
+        fdepth = p.frontend_depth
+
+        alu_ring = deque(maxlen=p.alu_units)
+        mul_ring = deque(maxlen=p.mul_units)
+        mem_ring = deque(maxlen=p.mem_ports)
+        load_commits = deque(maxlen=p.ld_queue)
+        store_commits = deque(maxlen=p.st_queue)
+
+        fetch_next = 0
+        redirect = 0
+        redirect_active = False
+        group_time = 0
+        group_cause = CAT_FRONTEND
+
+        mul_lat = 4
+        l1_lat = p.l1_hit_cycles
+        l2_lat = p.l2_hit_cycles
+        dram_lat = p.dram_cycles
+
+        stacks = {cat: 0.0 for cat in CATEGORIES}
+        prev_commit = 0
+
+        for i in range(n):
+            # ---- fetch (per group of fetch_width) ----
+            if i % fw == 0:
+                gt = fetch_next
+                cause = CAT_FRONTEND
+                if redirect_active and redirect + 1 > gt:
+                    gt = redirect + 1
+                    cause = CAT_BRANCH
+                    redirect_active = False
+                elif redirect_active:
+                    redirect_active = False
+                if i >= fbuf and dispatch_t[i - fbuf] + 1 > gt:
+                    gt = dispatch_t[i - fbuf] + 1
+                    cause = CAT_BASE  # backpressure: blame downstream
+                if icache_miss[i]:
+                    gt += l2_lat
+                    cause = CAT_FRONTEND
+                group_time = gt
+                group_cause = cause
+                fetch_next = gt + 1
+            fetch_t[i] = group_time
+            fetch_cause[i] = group_cause
+
+            # ---- dispatch ----
+            dt = fetch_t[i] + fdepth
+            dcause = fetch_cause[i]
+            if i >= iw and dispatch_t[i - iw] + 1 > dt:
+                dt = dispatch_t[i - iw] + 1
+                dcause = CAT_BASE
+            if i >= rob and commit_t[i - rob] + 1 > dt:
+                dt = commit_t[i - rob] + 1
+                dcause = CAT_WINDOW
+            k = kind[i]
+            if k == KIND_LOAD and len(load_commits) == p.ld_queue \
+                    and load_commits[0] + 1 > dt:
+                dt = load_commits[0] + 1
+                dcause = CAT_WINDOW
+            if k == KIND_STORE and len(store_commits) == p.st_queue \
+                    and store_commits[0] + 1 > dt:
+                dt = store_commits[0] + 1
+                dcause = CAT_WINDOW
+            dispatch_t[i] = dt
+
+            # ---- execute ----
+            ready = dt + 1
+            ecause = dcause
+            d1 = dep1[i]
+            if d1 and complete_t[i - d1] > ready:
+                ready = complete_t[i - d1]
+                ecause = CAT_EXEC
+            d2 = dep2[i]
+            if d2 and complete_t[i - d2] > ready:
+                ready = complete_t[i - d2]
+                ecause = CAT_EXEC
+            if k == KIND_MUL:
+                ring = mul_ring
+            elif k in (KIND_LOAD, KIND_STORE):
+                ring = mem_ring
+            else:
+                ring = alu_ring
+            start = ready
+            if len(ring) == ring.maxlen and ring[0] + 1 > start:
+                start = ring[0] + 1
+                ecause = CAT_EXEC
+            ring.append(start)
+
+            if k == KIND_MUL:
+                lat = mul_lat
+                if lat > 1 and ecause == dcause:
+                    ecause = CAT_EXEC
+            elif k == KIND_LOAD:
+                if l2_miss[i]:
+                    lat = dram_lat
+                elif l1_miss[i]:
+                    lat = l2_lat
+                else:
+                    lat = l1_lat
+                if l1_miss[i]:
+                    ecause = CAT_MEMORY
+            else:
+                lat = 1
+            complete_t[i] = start + lat
+            complete_cause[i] = ecause
+
+            # mispredicted branch: the frontend refetches after resolve
+            if k == KIND_BRANCH and mispredict[i]:
+                if complete_t[i] > redirect:
+                    redirect = complete_t[i]
+                redirect_active = True
+
+            # ---- commit (in order) ----
+            ct = complete_t[i]
+            ccause = complete_cause[i]
+            if i >= 1 and commit_t[i - 1] > ct:
+                ct = commit_t[i - 1]
+                ccause = CAT_BASE
+            if i >= cw and commit_t[i - cw] + 1 > ct:
+                ct = commit_t[i - cw] + 1
+                ccause = CAT_BASE
+            commit_t[i] = ct
+            if k == KIND_LOAD:
+                load_commits.append(ct)
+            elif k == KIND_STORE:
+                store_commits.append(ct)
+
+            gap = ct - prev_commit
+            if gap > 0:
+                stacks[ccause] += gap
+            else:
+                stacks[CAT_BASE] += 0.0
+            prev_commit = ct
+
+        return PipelineResult(
+            core=p.name, workload=workload.name, instructions=n,
+            cycles=commit_t[-1], stack_cycles=stacks)

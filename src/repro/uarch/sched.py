@@ -1,0 +1,69 @@
+"""OS scheduling and cache-affinity cost model.
+
+The Go GC study (Sec. V-D) hinges on how Linux places the runtime's OS
+threads onto cores and what that does to the caches of a *weak memory
+subsystem* (a BOOM SoC with high coherence costs).  This model prices the
+three effects the paper reasons about:
+
+* **wakeup latency** — waking a thread on the same core preempts the
+  current thread quickly; waking onto another core pays an IPI plus
+  cross-core coherence traffic for the task state,
+* **cache affinity** — a thread that keeps running on one core stays
+  warm; when its data was last touched by *another* core (GC marking the
+  heap, or a migration), its working set must be pulled across the
+  coherence fabric, inflating its work,
+* **migrations** — the load balancer occasionally moves threads between
+  allowed cores, each time costing a cache refill.
+
+Calibrated so a 4-core BOOM SoC at FireSim-scale clock shows millisecond
+tails, matching the scale of Fig. 10 (and of the paper's Xeon
+cross-check: 28 ms pinned-NUMA vs 42 ms cross-NUMA at p99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AffinityCostModel:
+    """Cost parameters (microseconds unless noted)."""
+
+    #: same-core wakeup: scheduler preemption path
+    local_wakeup_us: float = 3.0
+    #: cross-core wakeup: IPI + run-queue + task-state coherence misses
+    remote_wakeup_us: float = 18.0
+    #: work inflation while the thread's data is owned by another core
+    #: (BOOM's coherence round trips are expensive)
+    coherence_inflation: float = 3.5
+    #: work inflation right after a migration (cache refill)
+    migration_inflation: float = 6.0
+    #: how long the post-migration refill penalty lasts
+    migration_window_us: float = 1500.0
+    #: average ticks between load-balancer migrations when several cores
+    #: are allowed (Linux rebalances periodically)
+    migration_period_ticks: int = 350
+
+    def wakeup_latency(self, same_core: bool) -> float:
+        return self.local_wakeup_us if same_core else self.remote_wakeup_us
+
+    def work_us(self, base_us: float, data_remote: bool,
+                recently_migrated: bool) -> float:
+        """Execution time of ``base_us`` of work under cache effects."""
+        out = base_us
+        if data_remote:
+            out *= self.coherence_inflation
+        if recently_migrated:
+            out *= self.migration_inflation
+        return out
+
+
+@dataclass
+class CoreSet:
+    """The CPU-affinity mask handed to the Linux scheduler."""
+
+    n_cores: int
+
+    @property
+    def single(self) -> bool:
+        return self.n_cores == 1

@@ -1,0 +1,29 @@
+"""The experiment runner CLI."""
+
+from pathlib import Path
+
+from repro.experiments.runner import EXPERIMENTS, main, select
+
+
+class TestSelection:
+    def test_all_registered(self):
+        expected = {"table1", "table2", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13", "fig14",
+                    "casestudy_24core", "casestudy_gc40"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_prefix_matching(self):
+        assert select(["fig1"]) == ["fig10", "fig11", "fig12", "fig13",
+                                    "fig14"]
+        assert select(["table"]) == ["table1", "table2"]
+        assert select([]) == list(EXPERIMENTS)
+        assert select(["nomatch"]) == []
+
+    def test_unknown_pattern_exit_code(self, capsys):
+        assert main(["nomatch"]) == 2
+
+    def test_writes_output_files(self, tmp_path, capsys):
+        rc = main(["table1", "--out", str(tmp_path)])
+        assert rc == 0
+        text = (tmp_path / "table1.txt").read_text()
+        assert "Issue width" in text

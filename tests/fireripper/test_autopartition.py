@@ -1,0 +1,112 @@
+"""Automatic partition-point search (the Sec. VIII-B extension)."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.fireripper import EXACT, FAST, FireRipper, auto_partition
+from repro.fireripper.autopartition import build_instance_graph
+from repro.harness import MonolithicSimulation
+from repro.platform import QSFP_AURORA, XILINX_U250
+from repro.targets import make_comb_pair_circuit
+from repro.targets.soc import make_ring_noc_soc, make_star_soc
+
+
+class TestInstanceGraph:
+    def test_nodes_and_weights(self):
+        circuit = make_ring_noc_soc(2, messages_per_tile=2)
+        graph = build_instance_graph(circuit)
+        assert "tile0" in graph.nodes and "router1" in graph.nodes
+        # tiles and routers have logic; converters are pure wiring
+        assert graph.luts["tile0"] > 0
+        assert graph.luts["router0"] > 0
+        assert all(graph.luts[n] >= 0 for n in graph.nodes)
+        # tile <-> converter wiring has nonzero width
+        assert graph.edge("tile0", "conv0") > 0
+
+    def test_cut_width(self):
+        circuit = make_ring_noc_soc(2, messages_per_tile=2)
+        graph = build_instance_graph(circuit)
+        all_one = {n: 0 for n in graph.nodes}
+        assert graph.cut_width(all_one) == 0
+        split = dict(all_one)
+        split["tile0"] = 1
+        assert graph.cut_width(split) == graph.edge("tile0", "conv0")
+
+    def test_comb_coupling_detected(self):
+        circuit = make_comb_pair_circuit()
+        graph = build_instance_graph(circuit, mode=EXACT)
+        # left.d (comb out) feeds right.f which feeds... register only;
+        # and right.q (comb out) feeds left.e (register only): no
+        # sink->sink coupling in this legal design
+        assert graph.comb_coupled == set()
+
+
+class TestSearch:
+    def test_balanced_groups_compile_and_run(self):
+        circuit = make_ring_noc_soc(4, messages_per_tile=3)
+        result = auto_partition(
+            circuit, n_fpgas=3, mode=FAST,
+            keep_in_base=["tile4", "conv4", "router4"])
+        # groups are LUT-balanced within the slack
+        group_sizes = [v for k, v in result.group_luts.items() if k != -1]
+        assert max(group_sizes) / max(min(group_sizes), 1) < 1.6
+
+        design = FireRipper(result.spec).compile(circuit)
+        sim = design.build_simulation(QSFP_AURORA, record_outputs=True)
+
+        def stop(s):
+            log = s.output_log.get(("base", "io_out"), [])
+            return bool(log) and log[-1]["done"] == 1
+
+        sim.run(20_000, stop=stop)
+        log = sim.output_log[("base", "io_out")]
+        assert log[-1]["result"] == 4 * sum(range(1, 4))
+
+    def test_exact_mode_result_compiles(self):
+        """Whatever the search returns in exact-mode must pass the
+        chain-length check by construction."""
+        circuit = make_star_soc(4, messages_per_tile=3)
+        result = auto_partition(circuit, n_fpgas=3, mode=EXACT,
+                                keep_in_base=["hub"])
+        FireRipper(result.spec).compile(circuit)  # must not raise
+
+    def test_exact_search_is_cycle_exact(self):
+        circuit = make_star_soc(3, messages_per_tile=3)
+        mono = MonolithicSimulation(circuit)
+        ref = mono.run_until("done", 1).target_cycles
+
+        result = auto_partition(circuit, n_fpgas=2, mode=EXACT,
+                                keep_in_base=["hub"])
+        design = FireRipper(result.spec).compile(circuit)
+        sim = design.build_simulation(QSFP_AURORA, record_outputs=True)
+
+        def stop(s):
+            log = s.output_log.get(("base", "io_out"), [])
+            return bool(log) and log[-1]["done"] == 1
+
+        sim.run(20_000, stop=stop)
+        log = sim.output_log[("base", "io_out")]
+        assert next(i for i, t in enumerate(log) if t["done"]) == ref
+
+    def test_profile_capacity_respected(self):
+        circuit = make_ring_noc_soc(4, messages_per_tile=3)
+        result = auto_partition(circuit, n_fpgas=3, mode=FAST,
+                                profile=XILINX_U250)
+        limit = XILINX_U250.usable.luts * XILINX_U250.congestion_threshold
+        for g, luts in result.group_luts.items():
+            assert luts <= limit
+
+    def test_too_many_fpgas_rejected(self):
+        with pytest.raises(SelectionError):
+            auto_partition(make_comb_pair_circuit(), n_fpgas=10)
+
+    def test_minimum_two_fpgas(self):
+        with pytest.raises(SelectionError):
+            auto_partition(make_comb_pair_circuit(), n_fpgas=1)
+
+    def test_report_text(self):
+        circuit = make_star_soc(3, messages_per_tile=3)
+        result = auto_partition(circuit, n_fpgas=2, mode=FAST,
+                                keep_in_base=["hub"])
+        text = result.to_text()
+        assert "boundary cut" in text and "base" in text

@@ -1,0 +1,98 @@
+"""AST node construction and validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.firrtl.ast import (
+    Connect,
+    DefMemory,
+    DefRegister,
+    InstPort,
+    Lit,
+    LocalTarget,
+    Port,
+    PrimOp,
+    Ref,
+)
+
+
+class TestLit:
+    def test_value_fits(self):
+        assert Lit(255, 8).value == 255
+
+    def test_value_too_big(self):
+        with pytest.raises(IRError):
+            Lit(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(IRError):
+            Lit(-1, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(IRError):
+            Lit(0, 0)
+
+    def test_str(self):
+        assert str(Lit(3, 4)) == "UInt<4>(3)"
+
+
+class TestPrimOp:
+    def test_unknown_op(self):
+        with pytest.raises(IRError):
+            PrimOp("frobnicate", (Lit(1, 1),), 1)
+
+    def test_wrong_arity(self):
+        with pytest.raises(IRError):
+            PrimOp("add", (Lit(1, 1),), 2)
+
+    def test_refs_traversal(self):
+        expr = PrimOp("add", (Ref("a", 8), PrimOp("not", (Ref("b", 8),), 8)),
+                      9)
+        names = sorted(str(r) for r in expr.refs())
+        assert names == ["a", "b"]
+
+    def test_inst_port_in_refs(self):
+        expr = PrimOp("and", (InstPort("q", "deq", 4), Lit(1, 4)), 4)
+        leaves = list(expr.refs())
+        assert len(leaves) == 1
+        assert leaves[0].inst == "q"
+
+
+class TestPort:
+    def test_direction_validation(self):
+        with pytest.raises(IRError):
+            Port("p", "inout", 1)
+
+    def test_zero_width(self):
+        with pytest.raises(IRError):
+            Port("p", "input", 0)
+
+    def test_is_input(self):
+        assert Port("p", "input", 1).is_input
+        assert not Port("p", "output", 1).is_input
+
+
+class TestRegisterAndMemory:
+    def test_register_init_fits(self):
+        assert DefRegister("r", 4, init=15).init == 15
+
+    def test_register_init_too_big(self):
+        with pytest.raises(IRError):
+            DefRegister("r", 4, init=16)
+
+    def test_memory_bad_shape(self):
+        with pytest.raises(IRError):
+            DefMemory("m", 0, 8)
+
+    def test_memory_init_too_long(self):
+        with pytest.raises(IRError):
+            DefMemory("m", 2, 8, init=(1, 2, 3))
+
+
+class TestTargets:
+    def test_local_target_str(self):
+        assert str(LocalTarget("w")) == "w"
+
+    def test_connect_holds_target(self):
+        c = Connect(LocalTarget("w"), Lit(1, 1))
+        assert str(c.target) == "w"

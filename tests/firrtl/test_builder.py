@@ -1,0 +1,162 @@
+"""Builder DSL: widths, coercion, connects, sugar."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.firrtl import ModuleBuilder, build_circuit, cat, mux
+from repro.firrtl.ast import Lit, PrimOp
+from repro.rtl import Simulator
+
+
+def _sig(width=8, name="a"):
+    b = ModuleBuilder("T")
+    return b, b.input(name, width)
+
+
+class TestWidthRules:
+    def test_add_grows_one(self):
+        _, a = _sig(8)
+        assert (a + a).width == 9
+
+    def test_sub_grows_one(self):
+        _, a = _sig(8)
+        assert (a - a).width == 9
+
+    def test_mul_sums(self):
+        _, a = _sig(8)
+        assert (a * a).width == 16
+
+    def test_bitwise_max(self):
+        b = ModuleBuilder("T")
+        a = b.input("a", 8)
+        c = b.input("c", 4)
+        assert (a & c).width == 8
+
+    def test_compare_is_one(self):
+        _, a = _sig(8)
+        assert a.eq(3).width == 1
+        assert a.lt(3).width == 1
+
+    def test_cat_sums(self):
+        b = ModuleBuilder("T")
+        a = b.input("a", 8)
+        c = b.input("c", 4)
+        assert a.cat(c).width == 12
+
+    def test_bits_range(self):
+        _, a = _sig(8)
+        assert a.bits(5, 2).width == 4
+        with pytest.raises(IRError):
+            a.bits(8, 0)
+
+    def test_shl_shr(self):
+        _, a = _sig(8)
+        assert a.shl(3).width == 11
+        assert a.shr(3).width == 5
+        assert a.shr(20).width == 1
+
+    def test_pad_and_fit(self):
+        _, a = _sig(8)
+        assert a.pad(12).width == 12
+        assert a.pad(4).width == 8  # pad never shrinks
+        assert a.fit(4).width == 4
+        assert a.fit(12).width == 12
+
+    def test_mux_pads_operands(self):
+        b = ModuleBuilder("T")
+        s = b.input("s", 1)
+        a = b.input("a", 4)
+        out = mux(s, a, 0)
+        assert out.width == 4
+
+
+class TestCoercion:
+    def test_int_literal_uses_peer_width(self):
+        _, a = _sig(8)
+        expr = (a + 1).expr
+        assert isinstance(expr, PrimOp)
+        assert expr.args[1] == Lit(1, 8)
+
+    def test_negative_literal_rejected(self):
+        _, a = _sig(8)
+        with pytest.raises(IRError):
+            a + (-1)
+
+    def test_bool_coerces(self):
+        _, a = _sig(1)
+        assert (a & True).width == 1
+
+
+class TestConnect:
+    def test_auto_truncate(self):
+        b = ModuleBuilder("T")
+        a = b.input("a", 8)
+        out = b.output("o", 4)
+        b.connect(out, a + 1)  # 9 bits -> 4
+        m = b.build()
+        connect = m.connects()[0]
+        assert connect.expr.width == 4
+
+    def test_auto_pad(self):
+        b = ModuleBuilder("T")
+        a = b.input("a", 2)
+        out = b.output("o", 8)
+        b.connect(out, a)
+        assert b.build().connects()[0].expr.width == 8
+
+    def test_cannot_drive_input(self):
+        b = ModuleBuilder("T")
+        a = b.input("a", 2)
+        with pytest.raises(IRError):
+            b.connect(a, 1)
+
+    def test_duplicate_declaration(self):
+        b = ModuleBuilder("T")
+        b.wire("w", 1)
+        with pytest.raises(IRError):
+            b.reg("w", 1)
+
+
+class TestReadyValidSugar:
+    def test_rv_input_directions(self):
+        b = ModuleBuilder("T")
+        enq = b.rv_input("enq", 8)
+        m_ports = {p.name: p.direction for p in b._ports}
+        assert m_ports["enq_valid"] == "input"
+        assert m_ports["enq_ready"] == "output"
+        assert m_ports["enq_bits"] == "input"
+
+    def test_rv_output_directions(self):
+        b = ModuleBuilder("T")
+        deq = b.rv_output("deq", 8)
+        m_ports = {p.name: p.direction for p in b._ports}
+        assert m_ports["deq_valid"] == "output"
+        assert m_ports["deq_ready"] == "input"
+
+    def test_fire_expression(self):
+        b = ModuleBuilder("T")
+        enq = b.rv_input("enq", 8)
+        out = b.output("o", 1)
+        b.connect(out, enq.fire())
+        b.connect(enq.ready, 1)
+        # fire = valid & ready should simulate correctly
+        bits = b.output("bits_copy", 8)
+        b.connect(bits, enq.bits)
+        sim = Simulator(build_circuit(b))
+        assert sim.step({"enq_valid": 1, "enq_bits": 5})["o"] == 1
+        assert sim.step({"enq_valid": 0, "enq_bits": 5})["o"] == 0
+
+
+class TestCatHelper:
+    def test_multi_cat_order(self):
+        b = ModuleBuilder("T")
+        hi = b.input("hi", 4)
+        lo = b.input("lo", 4)
+        out = b.output("o", 8)
+        b.connect(out, cat(hi.read(), lo.read()))
+        sim = Simulator(build_circuit(b))
+        assert sim.step({"hi": 0xA, "lo": 0x5})["o"] == 0xA5
+
+    def test_empty_cat_rejected(self):
+        with pytest.raises(IRError):
+            cat()

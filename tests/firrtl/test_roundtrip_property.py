@@ -1,0 +1,98 @@
+"""Property: random circuits survive printer -> parser round trips with
+identical simulation behaviour, and the compiled engine matches the
+interpreter on them."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.firrtl import (
+    ModuleBuilder,
+    make_circuit,
+    mux,
+    parse_circuit,
+    print_circuit,
+)
+from repro.rtl import Simulator
+
+WIDTH = 8
+
+_BIN = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a & b,
+    lambda a, b: a | b,
+    lambda a, b: a ^ b,
+    lambda a, b: (a * b).trunc(WIDTH),
+    lambda a, b: a.cat(b).trunc(WIDTH),
+    lambda a, b: mux(a.eq(b), a, b),
+    lambda a, b: a.dshr(b.bits(2, 0)),
+]
+
+node_spec = st.tuples(st.integers(0, len(_BIN) - 1),
+                      st.integers(0, 5), st.integers(0, 5))
+
+
+@st.composite
+def circuit_spec(draw):
+    n_nodes = draw(st.integers(1, 8))
+    nodes = [draw(node_spec) for _ in range(n_nodes)]
+    n_regs = draw(st.integers(0, 2))
+    reg_inits = [draw(st.integers(0, 255)) for _ in range(n_regs)]
+    mem = draw(st.booleans())
+    return nodes, reg_inits, mem
+
+
+def build(spec):
+    nodes, reg_inits, with_mem = spec
+    b = ModuleBuilder("Rand")
+    a = b.input("a", WIDTH)
+    bb = b.input("b", WIDTH)
+    out = b.output("o", WIDTH)
+    pool = [a.read(), bb.read()]
+    regs = []
+    for i, init in enumerate(reg_inits):
+        r = b.reg(f"r{i}", WIDTH, init=init)
+        regs.append(r)
+        pool.append(r.read())
+    if with_mem:
+        m = b.mem("m", 16, WIDTH, init=[3, 1, 4, 1, 5])
+        rd = b.mem_read(m, "rd", a.read().bits(3, 0))
+        b.mem_write(m, bb.read().bits(3, 0), a, a.read().bit(0))
+        pool.append(rd)
+    for i, (f, s0, s1) in enumerate(nodes):
+        value = _BIN[f](pool[s0 % len(pool)],
+                        pool[s1 % len(pool)]).fit(WIDTH)
+        pool.append(b.node(f"n{i}", value))
+    for i, r in enumerate(regs):
+        b.connect(r, pool[(i + 3) % len(pool)])
+    b.connect(out, pool[-1])
+    return make_circuit(b.build(), [])
+
+
+@given(spec=circuit_spec(),
+       stimulus=st.lists(st.tuples(st.integers(0, 255),
+                                   st.integers(0, 255)),
+                         min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_preserves_behavior(spec, stimulus):
+    circuit = build(spec)
+    reparsed = parse_circuit(print_circuit(circuit))
+    s1, s2 = Simulator(circuit), Simulator(reparsed)
+    for a, bb in stimulus:
+        assert s1.step({"a": a, "b": bb}) == s2.step({"a": a, "b": bb})
+
+
+@given(spec=circuit_spec(),
+       stimulus=st.lists(st.tuples(st.integers(0, 255),
+                                   st.integers(0, 255)),
+                         min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_compiled_engine_matches_interpreter(spec, stimulus):
+    circuit = build(spec)
+    compiled = Simulator(circuit, compiled=True)
+    interp = Simulator(circuit, compiled=False)
+    for a, bb in stimulus:
+        assert compiled.step({"a": a, "b": bb}) \
+            == interp.step({"a": a, "b": bb})
+    assert compiled.env == interp.env
+    assert compiled.mem_state == interp.mem_state

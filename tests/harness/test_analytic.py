@@ -1,0 +1,54 @@
+"""Analytic throughput model: knob behaviour + agreement with the DES."""
+
+import pytest
+
+from repro.fireripper import EXACT, FAST
+from repro.harness import analytic_rate_hz
+from repro.platform import HOST_PCIE, PCIE_P2P, QSFP_AURORA
+from repro.experiments.sweeps import measure_rate
+
+
+class TestKnobs:
+    def test_exact_slower_than_fast(self):
+        exact = analytic_rate_hz(EXACT, 500, QSFP_AURORA, 30.0)
+        fast = analytic_rate_hz(FAST, 500, QSFP_AURORA, 30.0)
+        assert 1.4 < fast / exact < 2.2
+
+    def test_wider_interface_slower(self):
+        rates = [analytic_rate_hz(FAST, w, QSFP_AURORA, 30.0)
+                 for w in (128, 1024, 4096)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_higher_freq_faster(self):
+        rates = [analytic_rate_hz(FAST, 500, QSFP_AURORA, f)
+                 for f in (10.0, 30.0, 90.0)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_transport_ordering(self):
+        by_transport = [analytic_rate_hz(FAST, 500, t, 30.0)
+                        for t in (QSFP_AURORA, PCIE_P2P, HOST_PCIE)]
+        assert by_transport[0] > by_transport[1] > by_transport[2]
+
+    def test_host_pcie_capped(self):
+        assert analytic_rate_hz(FAST, 64, HOST_PCIE, 90.0) <= 26_400.0
+
+    def test_ring_size_penalty(self):
+        small = analytic_rate_hz(FAST, 64, QSFP_AURORA, 30.0, num_fpgas=2)
+        big = analytic_rate_hz(FAST, 64, QSFP_AURORA, 30.0, num_fpgas=5)
+        assert big < small
+
+    def test_fame5_amortization(self):
+        """Threads overlap with latency: 6 threads cost far less than 6x."""
+        one = analytic_rate_hz(FAST, 64, QSFP_AURORA, 30.0, threads=1)
+        six = analytic_rate_hz(FAST, 64, QSFP_AURORA, 30.0, threads=6)
+        assert one / six < 2.0
+
+
+class TestAgreementWithCoSimulation:
+    @pytest.mark.parametrize("mode,tolerance", [(EXACT, 0.15),
+                                                (FAST, 0.35)])
+    @pytest.mark.parametrize("width", [128, 1024, 3200])
+    def test_model_tracks_token_level_des(self, mode, width, tolerance):
+        measured = measure_rate(width, mode, QSFP_AURORA, 30.0, cycles=80)
+        predicted = analytic_rate_hz(mode, width, QSFP_AURORA, 30.0)
+        assert abs(measured - predicted) / predicted < tolerance

@@ -1,0 +1,71 @@
+"""Monolithic harness + software-sim baseline + metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness import (
+    MonolithicSimulation,
+    cycle_count_error_pct,
+    software_rtl_sim_rate_hz,
+)
+from repro.harness.software_sim import luts_to_gate_equivalents
+from repro.targets.accel import make_gemmini_soc, gemmini_reference_checksum
+
+
+class TestMonolithic:
+    def test_run_until_done(self):
+        mono = MonolithicSimulation(make_gemmini_soc(4))
+        result = mono.run_until("done", 1)
+        assert result.target_cycles > 0
+        assert mono.sim.peek("checksum") == gemmini_reference_checksum(4)
+
+    def test_rate_is_host_frequency(self):
+        mono = MonolithicSimulation(make_gemmini_soc(4),
+                                    host_freq_mhz=42.0)
+        result = mono.run(10)
+        assert result.rate_hz == 42.0e6
+
+    def test_driver_validation(self):
+        with pytest.raises(SimulationError):
+            MonolithicSimulation(make_gemmini_soc(4),
+                                 drivers={"ghost": 1})
+
+    def test_callable_driver(self, counter_circuit):
+        mono = MonolithicSimulation(counter_circuit,
+                                    drivers={"en": lambda c: c % 2})
+        mono.run(10)
+        mono.sim.eval()
+        assert mono.sim.peek("count") == 5
+
+
+class TestMetrics:
+    def test_error_pct(self):
+        assert cycle_count_error_pct(100, 100) == 0.0
+        assert cycle_count_error_pct(100, 101) == pytest.approx(1.0)
+        assert cycle_count_error_pct(100, 99) == pytest.approx(1.0)
+
+    def test_zero_reference(self):
+        assert cycle_count_error_pct(0, 0) == 0.0
+        assert cycle_count_error_pct(0, 5) == float("inf")
+
+
+class TestSoftwareSimModel:
+    def test_bigger_design_slower(self):
+        assert software_rtl_sim_rate_hz(1e6) > software_rtl_sim_rate_hz(1e8)
+
+    def test_calibration_anchor(self):
+        """The paper's 24-core SoC runs at ~1.26 kHz commercially."""
+        from repro.experiments.casestudy_24core import (
+            software_baseline_rate_hz,
+        )
+
+        rate = software_baseline_rate_hz()
+        assert 1_000 <= rate <= 1_600
+
+    def test_parallel_speedup_scales(self):
+        base = software_rtl_sim_rate_hz(1e8)
+        assert software_rtl_sim_rate_hz(1e8, parallel_speedup=4.0) \
+            == pytest.approx(4 * base)
+
+    def test_lut_conversion(self):
+        assert luts_to_gate_equivalents(1000) == 25_000

@@ -1,0 +1,150 @@
+"""Partitioned co-simulation harness: wiring, timing overlay, deadlock."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError, TransportError
+from repro.firrtl import make_circuit
+from repro.fireripper import EXACT, FAST, FireRipper, PartitionGroup, PartitionSpec
+from repro.harness import (
+    ConstantSource,
+    FunctionSource,
+    Link,
+    Partition,
+    PartitionedSimulation,
+)
+from repro.libdn import ChannelSpec, LIBDNHost
+from repro.platform import PCIE_P2P, QSFP_AURORA
+from repro.rtl import Simulator
+from repro.targets import make_comb_pair_circuit, make_rv_consumer
+from repro.targets.combo import WIDTH, make_comb_left, make_comb_right
+
+
+def _compile_pair(mode=EXACT):
+    spec = PartitionSpec(mode=mode, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    return FireRipper(spec).compile(make_comb_pair_circuit())
+
+
+class TestWiringValidation:
+    def _consumer_partition(self, name="p"):
+        host = LIBDNHost(
+            Simulator(make_circuit(make_rv_consumer(16), [])),
+            [ChannelSpec.make("in", [("in_valid", 1), ("in_bits", 16)])],
+            [ChannelSpec.make("out", [("in_ready", 1), ("sum", 32),
+                                      ("received", 32)], deps=["in"])],
+            name=name)
+        return Partition(name, host)
+
+    def test_unfed_input_rejected(self):
+        part = self._consumer_partition()
+        with pytest.raises(TransportError, match="no link and no source"):
+            PartitionedSimulation([part], [])
+
+    def test_unknown_link_endpoint(self):
+        part = self._consumer_partition()
+        link = Link(("p", "out"), ("ghost", "in"), QSFP_AURORA)
+        with pytest.raises(TransportError):
+            PartitionedSimulation([part], [link])
+
+    def test_duplicate_partition_names(self):
+        with pytest.raises(SimulationError):
+            PartitionedSimulation([self._consumer_partition("p"),
+                                   self._consumer_partition("p")], [])
+
+    def test_function_source_drives_tokens(self):
+        part = self._consumer_partition()
+        values = [5, 6, 7]
+        src = FunctionSource(lambda cycle: {
+            "in_valid": 1 if cycle < 3 else 0,
+            "in_bits": values[cycle] if cycle < 3 else 0})
+        sim = PartitionedSimulation(
+            [part], [], sources={("p", "in"): src}, record_outputs=True)
+        sim.run(6)
+        assert part.host.sim.peek("sum") == sum(values)
+
+
+class TestTimingOverlay:
+    def test_rate_positive_and_cycles_counted(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        result = sim.run(25)
+        assert result.target_cycles == 25
+        assert result.wall_ns > 0
+        assert result.rate_hz > 0
+        assert result.tokens_transferred > 0
+
+    def test_faster_transport_faster_sim(self):
+        r_qsfp = _compile_pair().build_simulation(QSFP_AURORA).run(40)
+        r_pcie = _compile_pair().build_simulation(PCIE_P2P).run(40)
+        assert r_qsfp.rate_hz > r_pcie.rate_hz
+
+    def test_higher_bitstream_freq_faster(self):
+        slow = _compile_pair().build_simulation(
+            QSFP_AURORA, host_freq_mhz=10.0).run(40)
+        fastr = _compile_pair().build_simulation(
+            QSFP_AURORA, host_freq_mhz=90.0).run(40)
+        assert fastr.rate_hz > slow.rate_hz
+
+    def test_advance_overhead_slows(self):
+        base = _compile_pair().build_simulation(QSFP_AURORA).run(40)
+        loaded = _compile_pair().build_simulation(
+            QSFP_AURORA, advance_overhead_ns=500.0).run(40)
+        assert loaded.rate_hz < base.rate_hz
+
+    def test_per_partition_cycles_reported(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        result = sim.run(10)
+        assert result.per_partition_cycles == {"base": 10, "fpga1": 10}
+
+
+class TestDeadlockDetection:
+    def test_aggregated_comb_boundary_deadlocks(self):
+        """Fig. 2a wired through the harness: aggregated channels on a
+        combinational boundary stall every unit."""
+        left = LIBDNHost(
+            Simulator(make_circuit(make_comb_left(), [])),
+            [ChannelSpec.make("in", [("a", WIDTH), ("e", WIDTH)])],
+            [ChannelSpec.make("out", [("d", WIDTH), ("s", WIDTH)],
+                              deps=["in"])],
+            name="left")
+        right = LIBDNHost(
+            Simulator(make_circuit(make_comb_right(), [])),
+            [ChannelSpec.make("in", [("c", WIDTH), ("f", WIDTH)])],
+            [ChannelSpec.make("out", [("q", WIDTH), ("ya", WIDTH)],
+                              deps=["in"])],
+            name="right")
+        links = [
+            Link(("L", "out"), ("R", "in"), QSFP_AURORA,
+                 rename={"d": "f", "s": "c"}),
+            Link(("R", "out"), ("L", "in"), QSFP_AURORA,
+                 rename={"q": "e", "ya": "a"}),
+        ]
+        sim = PartitionedSimulation(
+            [Partition("L", left), Partition("R", right)], links)
+        with pytest.raises(DeadlockError) as err:
+            sim.run(5)
+        assert "waits on" in str(err.value)
+
+    def test_seeding_prevents_the_deadlock(self):
+        left = LIBDNHost(
+            Simulator(make_circuit(make_comb_left(), [])),
+            [ChannelSpec.make("in", [("a", WIDTH), ("e", WIDTH)])],
+            [ChannelSpec.make("out", [("d", WIDTH), ("s", WIDTH)],
+                              deps=["in"])],
+            name="left")
+        right = LIBDNHost(
+            Simulator(make_circuit(make_comb_right(), [])),
+            [ChannelSpec.make("in", [("c", WIDTH), ("f", WIDTH)])],
+            [ChannelSpec.make("out", [("q", WIDTH), ("ya", WIDTH)],
+                              deps=["in"])],
+            name="right")
+        links = [
+            Link(("L", "out"), ("R", "in"), QSFP_AURORA,
+                 rename={"d": "f", "s": "c"}),
+            Link(("R", "out"), ("L", "in"), QSFP_AURORA,
+                 rename={"q": "e", "ya": "a"}),
+        ]
+        sim = PartitionedSimulation(
+            [Partition("L", left), Partition("R", right)], links,
+            seed_boundary=True)
+        result = sim.run(10)
+        assert result.target_cycles == 10

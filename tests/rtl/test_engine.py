@@ -1,0 +1,185 @@
+"""Cycle engine: semantics, reset, memories, compiled/interpreted parity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CombLoopError, SimulationError
+from repro.firrtl import ModuleBuilder, build_circuit, make_circuit, mux
+from repro.rtl import Simulator, elaborate
+from repro.targets import make_queue
+
+
+class TestBasics:
+    def test_counter_counts(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        sim.run(5, {"en": 1})
+        assert sim.peek("count") == 5
+        sim.run(3, {"en": 0})
+        assert sim.peek("count") == 5
+
+    def test_reset_restores_init(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        sim.run(5, {"en": 1})
+        sim.reset()
+        sim.eval()
+        assert sim.peek("count") == 0
+        assert sim.cycle == 0
+
+    def test_register_init_value(self):
+        b = ModuleBuilder("T")
+        out = b.output("o", 8)
+        r = b.reg("r", 8, init=42)
+        b.connect(r, r)
+        b.connect(out, r)
+        sim = Simulator(build_circuit(b))
+        sim.eval()
+        assert sim.peek("o") == 42
+
+    def test_poke_masks_to_width(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        sim.poke("en", 0xFF)
+        assert sim.env["en"] == 1
+
+    def test_poke_unknown_port(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        with pytest.raises(SimulationError):
+            sim.poke("ghost", 1)
+
+    def test_peek_unknown(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        with pytest.raises(SimulationError):
+            sim.peek("ghost")
+
+    def test_run_until(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        sim.poke("en", 1)
+        cycles = sim.run_until("count", 7, max_cycles=100)
+        assert cycles == 7
+
+    def test_run_until_timeout(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        sim.poke("en", 0)
+        with pytest.raises(SimulationError):
+            sim.run_until("count", 7, max_cycles=10)
+
+    def test_hierarchical_peek(self, adder_pair_circuit):
+        sim = Simulator(adder_pair_circuit)
+        sim.step({"x": 5})
+        assert sim.peek("first.y") == 6
+        assert sim.peek("second.y") == 7
+
+
+class TestMemory:
+    def _mem_circuit(self):
+        b = ModuleBuilder("M")
+        addr = b.input("addr", 3)
+        we = b.input("we", 1)
+        din = b.input("din", 8)
+        dout = b.output("dout", 8)
+        m = b.mem("m", 8, 8, init=[10, 20, 30])
+        rd = b.mem_read(m, "rd", addr)
+        b.mem_write(m, addr, din, we)
+        b.connect(dout, rd)
+        return build_circuit(b)
+
+    def test_init_and_comb_read(self):
+        sim = Simulator(self._mem_circuit())
+        assert sim.step({"addr": 1})["dout"] == 20
+
+    def test_write_visible_next_cycle(self):
+        sim = Simulator(self._mem_circuit())
+        out_during_write = sim.step({"addr": 5, "we": 1, "din": 99})
+        assert out_during_write["dout"] == 0  # old value
+        assert sim.step({"addr": 5, "we": 0})["dout"] == 99
+
+    def test_write_disabled(self):
+        sim = Simulator(self._mem_circuit())
+        sim.step({"addr": 2, "we": 0, "din": 77})
+        assert sim.step({"addr": 2})["dout"] == 30
+
+
+class TestCombLoop:
+    def test_loop_detected_with_names(self):
+        b = ModuleBuilder("Loopy")
+        out = b.output("o", 1)
+        w1 = b.wire("w1", 1)
+        w2 = b.wire("w2", 1)
+        b.connect(w1, w2)
+        b.connect(w2, w1)
+        b.connect(out, w1)
+        with pytest.raises(CombLoopError) as err:
+            Simulator(build_circuit(b))
+        assert set(err.value.cycle) == {"w1", "w2"}
+
+    def test_register_breaks_loop(self):
+        b = ModuleBuilder("Ok")
+        out = b.output("o", 8)
+        r = b.reg("r", 8)
+        b.connect(r, r + 1)  # through-register feedback is fine
+        b.connect(out, r)
+        Simulator(build_circuit(b))  # should not raise
+
+
+class TestCompiledInterpreterParity:
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 255),
+                              st.integers(0, 1)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_queue_parity(self, stimulus):
+        circuit = make_circuit(make_queue(8, depth=4), [])
+        compiled = Simulator(circuit, compiled=True)
+        interp = Simulator(circuit, compiled=False)
+        for enq_v, bits, deq_r in stimulus:
+            ins = {"enq_valid": enq_v, "enq_bits": bits,
+                   "deq_ready": deq_r}
+            assert compiled.step(ins) == interp.step(ins)
+        assert compiled.env == interp.env
+
+    def test_comb_pair_parity(self):
+        from repro.targets import make_comb_pair_circuit
+
+        circuit = make_comb_pair_circuit()
+        compiled = Simulator(circuit, compiled=True)
+        interp = Simulator(circuit, compiled=False)
+        for _ in range(12):
+            assert compiled.step({}) == interp.step({})
+
+
+class TestElaboration:
+    def test_flat_names(self, adder_pair_circuit):
+        elab = elaborate(adder_pair_circuit)
+        assert "first.y" in {a.name for a in elab.assigns}
+        assert elab.inputs == {"x": 8}
+        assert elab.outputs == {"z": 8}
+
+    def test_register_next_captured(self, counter_circuit):
+        elab = elaborate(counter_circuit)
+        reg = elab.regs["r"]
+        assert reg.next is not None
+        assert reg.init == 0
+
+
+class TestSnapshotRestore:
+    def test_resume_is_exact(self):
+        from repro.firrtl import make_circuit
+        from repro.targets.tinycore import make_tiny_core
+        from repro.targets.programs import boot_program
+
+        sim = Simulator(make_circuit(make_tiny_core(boot_program(20)),
+                                     []))
+        sim.run(15)
+        snap = sim.snapshot()
+        sim.run_until("done", 1, max_cycles=1000)
+        final_result, final_cycle = sim.peek("result"), sim.cycle
+        sim.restore(snap)
+        assert sim.cycle == 15
+        sim.run_until("done", 1, max_cycles=1000)
+        assert sim.peek("result") == final_result
+        assert sim.cycle == final_cycle
+
+    def test_snapshot_is_deep(self, counter_circuit):
+        sim = Simulator(counter_circuit)
+        snap = sim.snapshot()
+        sim.run(5, {"en": 1})
+        assert snap["env"]["r"] == 0  # untouched by later simulation

@@ -1,0 +1,238 @@
+"""NoC router, converters, accelerators, and SoC builders."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.firrtl import make_circuit
+from repro.harness import MonolithicSimulation
+from repro.rtl import Simulator
+from repro.targets.accel import (
+    gemmini_reference_checksum,
+    make_gemmini_soc,
+    make_pipelined_memory,
+    make_sha3_soc,
+    sha3_reference_digest,
+)
+from repro.targets.noc import dest_bits, flit_width, make_router
+from repro.targets.soc import (
+    make_ring_noc_soc,
+    make_rocket_like_soc,
+    make_star_soc,
+    make_wide_pair,
+)
+
+
+class TestRouter:
+    def _router_sim(self, my_id=0, n=4):
+        router, lib = make_router(my_id, n)
+        return Simulator(make_circuit(router, lib)), flit_width(n)
+
+    def _flit(self, dest, payload, n=4):
+        return (dest << 16) | payload
+
+    def test_delivers_local_traffic(self):
+        sim, fw = self._router_sim(my_id=1)
+        sim.poke("local_out_ready", 1)
+        sim.poke("ring_in_valid", 1)
+        sim.poke("ring_in_bits", self._flit(1, 42))
+        sim.step({})
+        sim.poke("ring_in_valid", 0)
+        got = []
+        for _ in range(5):
+            sim.eval()
+            if sim.peek("local_out_valid"):
+                got.append(sim.peek("local_out_bits") & 0xFFFF)
+            sim.tick()
+        assert 42 in got
+
+    def test_forwards_foreign_traffic(self):
+        sim, fw = self._router_sim(my_id=1)
+        sim.poke("ring_in_valid", 1)
+        sim.poke("ring_in_bits", self._flit(3, 99))
+        sim.step({})
+        sim.poke("ring_in_valid", 0)
+        forwarded = []
+        for _ in range(5):
+            sim.eval()
+            if sim.peek("ring_out_valid"):
+                forwarded.append(sim.peek("ring_out_bits"))
+            sim.tick()
+        assert self._flit(3, 99) in forwarded
+        # never delivered locally
+        sim.eval()
+        assert sim.peek("local_out_valid") == 0
+
+    def test_credit_returned_per_flit(self):
+        sim, fw = self._router_sim(my_id=1)
+        sim.poke("local_out_ready", 1)
+        sim.poke("ring_in_valid", 1)
+        sim.poke("ring_in_bits", self._flit(1, 5))
+        sim.step({})
+        sim.poke("ring_in_valid", 0)
+        credits = 0
+        for _ in range(5):
+            sim.eval()
+            credits += sim.peek("ring_credit_out")
+            sim.tick()
+        assert credits == 1
+
+    def test_injection_respects_credits(self):
+        sim, fw = self._router_sim(my_id=0)
+        # no credit returns: only RING_CREDITS flits may leave
+        sim.poke("local_in_valid", 1)
+        sim.poke("local_in_bits", self._flit(2, 1))
+        sent = 0
+        for _ in range(10):
+            sim.eval()
+            sent += sim.peek("ring_out_valid")
+            sim.tick()
+        assert sent == 2  # RING_CREDITS
+
+
+class TestAccelerators:
+    def test_sha3_digest_and_reference(self):
+        mono = MonolithicSimulation(make_sha3_soc(12, 5))
+        mono.run_until("done", 1, max_cycles=5000)
+        assert mono.sim.peek("digest") == sha3_reference_digest(12)
+
+    def test_sha3_runtime_scales_with_words(self):
+        short = MonolithicSimulation(make_sha3_soc(8, 5)) \
+            .run_until("done", 1).target_cycles
+        long = MonolithicSimulation(make_sha3_soc(32, 5)) \
+            .run_until("done", 1).target_cycles
+        assert long > short
+
+    def test_gemmini_checksum(self):
+        mono = MonolithicSimulation(make_gemmini_soc(4))
+        mono.run_until("done", 1, max_cycles=5000)
+        assert mono.sim.peek("checksum") == gemmini_reference_checksum(4)
+
+    def test_pipelined_memory_latency_and_order(self):
+        mem = make_pipelined_memory(latency=5, window=4)
+        sim = Simulator(make_circuit(mem, []))
+        sim.poke("resp_ready", 1)
+        # issue two requests back to back
+        responses = []
+        for cycle in range(20):
+            sim.poke("req_valid", 1 if cycle < 2 else 0)
+            sim.poke("req_bits", cycle)
+            sim.eval()
+            if sim.peek("resp_valid"):
+                responses.append((cycle, sim.peek("resp_bits")))
+            sim.tick()
+        # data[a] = 3a + 1; responses in order, >= latency cycles later
+        assert [v for _, v in responses[:2]] == [1, 4]
+        assert responses[0][0] >= 5
+
+
+class TestSoCs:
+    def test_ring_soc_full_traffic(self):
+        mono = MonolithicSimulation(make_ring_noc_soc(3,
+                                                      messages_per_tile=3))
+        result = mono.run_until("done", 1, max_cycles=20000)
+        assert mono.sim.peek("result") == 3 * sum(range(1, 4))
+
+    def test_ring_soc_rejects_oversized_default_hub(self):
+        with pytest.raises(IRError):
+            make_ring_noc_soc(16, messages_per_tile=4)
+
+    def test_star_soc(self):
+        mono = MonolithicSimulation(make_star_soc(3, messages_per_tile=4))
+        mono.run_until("done", 1, max_cycles=20000)
+        assert mono.sim.peek("result") == 3 * sum(range(1, 5))
+
+    def test_rocket_soc(self):
+        mono = MonolithicSimulation(make_rocket_like_soc(8, 5))
+        mono.run_until("done", 1, max_cycles=20000)
+        assert mono.sim.peek("result") == sum(range(1, 6))
+
+    @pytest.mark.parametrize("comb", [False, True])
+    def test_wide_pair_checks_advance(self, comb):
+        sim = Simulator(make_wide_pair(256, comb_boundary=comb))
+        sim.run(8)
+        sim.eval()
+        assert sim.peek("check_l") > 0
+        assert sim.peek("check_r") > 0
+
+    def test_flit_geometry(self):
+        assert dest_bits(5) == 3
+        assert flit_width(5) == 19
+
+
+class TestTorusRouterAndSoC:
+    def test_shortest_path_direction(self):
+        """A flit injected at router 0 for destination 4 of a 5-node
+        torus goes counter-clockwise (1 hop) rather than clockwise (4)."""
+        from repro.targets.noc import make_torus_router
+
+        router, lib = make_torus_router(0, 5)
+        sim = Simulator(make_circuit(router, lib))
+        sim.poke("local_in_valid", 1)
+        sim.poke("local_in_bits", (4 << 16) | 7)
+        cw, ccw = 0, 0
+        for _ in range(5):
+            sim.eval()
+            cw += sim.peek("cw_out_valid")
+            ccw += sim.peek("ccw_out_valid")
+            sim.poke("local_in_valid", 0)
+            sim.tick()
+        assert ccw == 1 and cw == 0
+
+    def test_near_destination_goes_clockwise(self):
+        from repro.targets.noc import make_torus_router
+
+        router, lib = make_torus_router(0, 5)
+        sim = Simulator(make_circuit(router, lib))
+        sim.poke("local_in_valid", 1)
+        sim.poke("local_in_bits", (2 << 16) | 7)
+        cw = ccw = 0
+        for _ in range(5):
+            sim.eval()
+            cw += sim.peek("cw_out_valid")
+            ccw += sim.peek("ccw_out_valid")
+            sim.poke("local_in_valid", 0)
+            sim.tick()
+        assert cw == 1 and ccw == 0
+
+    def test_torus_soc_traffic(self):
+        from repro.targets.soc import make_torus_noc_soc
+
+        torus = MonolithicSimulation(make_torus_noc_soc(
+            4, messages_per_tile=3))
+        t_res = torus.run_until("done", 1, max_cycles=20_000)
+        assert torus.sim.peek("result") == 4 * sum(range(1, 4))
+        ring = MonolithicSimulation(make_ring_noc_soc(
+            4, messages_per_tile=3))
+        r_res = ring.run_until("done", 1, max_cycles=20_000)
+        # end-to-end completion is hub-throughput bound, so shortest-path
+        # routing can at best match the unidirectional ring here; the
+        # per-flit latency advantage is asserted at router level above
+        assert t_res.target_cycles <= r_res.target_cycles
+
+    def test_torus_partitioned_cycle_exact(self):
+        from repro.fireripper import (
+            EXACT,
+            FireRipper,
+            NoCPartitionSpec,
+            PartitionSpec,
+        )
+        from repro.platform import QSFP_AURORA
+        from repro.targets.soc import make_torus_noc_soc
+
+        mono = MonolithicSimulation(make_torus_noc_soc(
+            4, messages_per_tile=3))
+        ref = mono.run_until("done", 1, max_cycles=20_000).target_cycles
+
+        spec = PartitionSpec(mode=EXACT,
+                             noc=NoCPartitionSpec.make([[0, 1], [2, 3]]))
+        design = FireRipper(spec).compile(
+            make_torus_noc_soc(4, messages_per_tile=3))
+        sim = design.build_simulation(QSFP_AURORA, record_outputs=True)
+
+        def stop(s):
+            log = s.output_log.get(("base", "io_out"), [])
+            return bool(log) and log[-1]["done"] == 1
+
+        sim.run(20_000, stop=stop)
+        log = sim.output_log[("base", "io_out")]
+        assert next(i for i, t in enumerate(log) if t["done"]) == ref

@@ -1,0 +1,90 @@
+"""TinyCore assembler."""
+
+import pytest
+
+from repro.targets.programs import (
+    AsmError,
+    assemble,
+    boot_program,
+    boot_and_send_program,
+    forwarder_program,
+    idle_program,
+    large_binary_program,
+    sender_program,
+    sink_program,
+)
+
+
+class TestAssembler:
+    def test_encoding_fields(self):
+        words = assemble([("ADDI", "r1", "r2", 5)])
+        assert words == [(0x1 << 12) | (1 << 9) | (2 << 6) | 5]
+
+    def test_rr_op_puts_rb_in_imm(self):
+        words = assemble([("ADD", "r1", "r2", "r3")])
+        assert words == [(0x2 << 12) | (1 << 9) | (2 << 6) | (3 << 3)]
+
+    def test_labels_resolve(self):
+        words = assemble([
+            "start:",
+            ("ADDI", "r1", "r1", 1),
+            ("JMP", "start"),
+        ])
+        assert words[1] & 0x3F == 0
+
+    def test_forward_label(self):
+        words = assemble([
+            ("JMP", "end"),
+            ("ADDI", "r1", "r1", 1),
+            "end:",
+            ("HALT",),
+        ])
+        assert words[0] & 0x3F == 2
+
+    def test_unknown_label(self):
+        with pytest.raises(AsmError):
+            assemble([("JMP", "nowhere")])
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble([("FLY", "r1")])
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble([("ADDI", "r9", "r0", 1)])
+
+    def test_imm_range(self):
+        with pytest.raises(AsmError):
+            assemble([("ADDI", "r1", "r0", 64)])
+
+    def test_program_length_limit(self):
+        with pytest.raises(AsmError):
+            assemble([("HALT",)] * 65)
+
+    def test_bare_string_must_be_label(self):
+        with pytest.raises(AsmError):
+            assemble(["not a label"])
+
+
+class TestCannedPrograms:
+    @pytest.mark.parametrize("factory", [
+        lambda: boot_program(10),
+        lambda: boot_and_send_program(10, 4),
+        lambda: sender_program(5),
+        lambda: sink_program(5),
+        lambda: forwarder_program(),
+        lambda: idle_program(),
+        lambda: large_binary_program(5),
+    ])
+    def test_fits_imem(self, factory):
+        words = factory()
+        assert 0 < len(words) <= 64
+        assert all(0 <= w < (1 << 16) for w in words)
+
+    def test_parameter_validation(self):
+        with pytest.raises(AsmError):
+            boot_program(0)
+        with pytest.raises(AsmError):
+            sender_program(64)
+        with pytest.raises(AsmError):
+            large_binary_program(32)

@@ -1,0 +1,207 @@
+"""TinyCore ISA semantics, MMIO, and the planted RTL bug."""
+
+import pytest
+
+from repro.firrtl import make_circuit
+from repro.rtl import Simulator
+from repro.targets.programs import (
+    assemble,
+    boot_program,
+    large_binary_program,
+    large_binary_reference_checksum,
+)
+from repro.targets.tinycore import make_tile, make_tiny_core
+
+
+def _run_program(program, pokes=None, max_cycles=2000, bug=False):
+    if program and not isinstance(program[0], int):
+        program = assemble(program)
+    core = make_tiny_core(program, shift_bug=bug)
+    sim = Simulator(make_circuit(core, []))
+    for k, v in (pokes or {}).items():
+        sim.poke(k, v)
+    sim.run_until("done", 1, max_cycles=max_cycles)
+    return sim
+
+
+class TestALU:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("ADD", 5, 7, 12),
+        ("SUB", 7, 5, 2),
+        ("SUB", 5, 7, (5 - 7) & 0xFFFF),
+        ("AND", 0b1100, 0b1010, 0b1000),
+        ("OR", 0b1100, 0b1010, 0b1110),
+        ("XOR", 0b1100, 0b1010, 0b0110),
+    ])
+    def test_rr_ops(self, op, a, b, expected):
+        sim = _run_program([
+            ("LI", "r1", a),
+            ("LI", "r2", b),
+            (op, "r3", "r1", "r2"),
+            ("OUT", "r3"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == expected
+
+    def test_addi(self):
+        sim = _run_program([
+            ("LI", "r1", 40),
+            ("ADDI", "r1", "r1", 2),
+            ("OUT", "r1"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == 42
+
+    def test_shifts(self):
+        sim = _run_program([
+            ("LI", "r1", 3),
+            ("SHL", "r2", "r1", 4),
+            ("SHR", "r3", "r2", 2),
+            ("OUT", "r3"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == (3 << 4) >> 2
+
+    def test_r0_reads_zero(self):
+        sim = _run_program([
+            ("ADD", "r1", "r0", "r0"),
+            ("OUT", "r1"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == 0
+
+
+class TestControlFlow:
+    def test_beq_taken_and_not(self):
+        sim = _run_program([
+            ("LI", "r1", 5),
+            ("LI", "r2", 5),
+            ("BEQ", "r1", "r2", "same"),
+            ("LI", "r3", 1),
+            ("JMP", "end"),
+            "same:",
+            ("LI", "r3", 2),
+            "end:",
+            ("OUT", "r3"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == 2
+
+    def test_loop_counts_cycles(self):
+        sim = _run_program([
+            ("LI", "r1", 0),
+            ("LI", "r2", 5),
+            "loop:",
+            ("ADDI", "r1", "r1", 1),
+            ("BNE", "r1", "r2", "loop"),
+            ("OUT", "r1"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == 5
+        # 2 setup + 5 x 2 loop + OUT + HALT observed at done
+        assert sim.cycle == 2 + 10 + 2
+
+    def test_halt_holds_state(self):
+        sim = _run_program([("LI", "r1", 9), ("OUT", "r1"), ("HALT",)])
+        result_at_halt = sim.peek("result")
+        sim.run(10)
+        sim.eval()
+        assert sim.peek("result") == result_at_halt
+        assert sim.peek("done") == 1
+
+
+class TestMemoryAndMMIO:
+    def test_store_load_roundtrip(self):
+        sim = _run_program([
+            ("LI", "r1", 13),
+            ("ST", "r1", "r0", 5),
+            ("LD", "r2", "r0", 5),
+            ("OUT", "r2"),
+            ("HALT",),
+        ])
+        assert sim.peek("result") == 13
+
+    def test_out_queue_push(self):
+        program = assemble([
+            ("LI", "r1", 21),
+            ("ST", "r1", "r0", 63),
+            ("HALT",),
+        ])
+        core = make_tiny_core(program)
+        sim = Simulator(make_circuit(core, []))
+        sim.poke("out_ready", 1)
+        pushed = []
+        for _ in range(6):
+            sim.eval()
+            if sim.peek("out_valid"):
+                pushed.append(sim.peek("out_bits"))
+            sim.tick()
+        assert pushed == [21]
+
+    def test_in_queue_pop_handshake(self):
+        program = assemble([
+            "wait:",
+            ("LD", "r1", "r0", 61),
+            ("BEQ", "r1", "r0", "wait"),
+            ("LD", "r2", "r0", 62),
+            ("OUT", "r2"),
+            ("HALT",),
+        ])
+        core = make_tiny_core(program)
+        sim = Simulator(make_circuit(core, []))
+        sim.run(4)  # poll with nothing available
+        sim.poke("in_valid", 1)
+        sim.poke("in_bits", 77)
+        popped = 0
+        for _ in range(8):
+            sim.eval()
+            if sim.peek("in_ready"):
+                popped += 1
+            sim.tick()
+        sim.eval()
+        assert popped == 1  # exactly one pop
+        assert sim.peek("result") == 77
+
+
+class TestBootProgram:
+    def test_checksum(self):
+        sim = _run_program(boot_program(10))
+        # seed 7 incremented by 3: sum(7 + 3i) for i in 0..9
+        assert sim.peek("result") == sum(7 + 3 * i for i in range(10))
+
+    def test_cycles_scale_with_loops(self):
+        short = _run_program(boot_program(5)).cycle
+        long = _run_program(boot_program(20)).cycle
+        assert long > short
+
+
+class TestPlantedBug:
+    def test_bug_invisible_on_boot(self):
+        good = _run_program(boot_program(10), bug=False)
+        buggy = _run_program(boot_program(10), bug=True)
+        assert good.peek("result") == buggy.peek("result")
+
+    def test_bug_trips_on_large_binary(self):
+        ref = large_binary_reference_checksum(8)
+        good = _run_program(large_binary_program(8),
+                            pokes={"out_ready": 1})
+        buggy = _run_program(large_binary_program(8),
+                             pokes={"out_ready": 1}, bug=True)
+        assert good.peek("result") == ref
+        assert buggy.peek("result") != ref
+
+
+class TestTile:
+    def test_tile_streams_through_queues(self):
+        from repro.targets.programs import sender_program
+
+        tile, lib = make_tile(sender_program(3), name="T")
+        sim = Simulator(make_circuit(tile, lib))
+        sim.poke("net_out_ready", 1)
+        got = []
+        for _ in range(60):
+            sim.eval()
+            if sim.peek("net_out_valid"):
+                got.append(sim.peek("net_out_bits"))
+            sim.tick()
+        assert got == [1, 2, 3]

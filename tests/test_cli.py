@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.firrtl import parse_circuit, print_circuit
+from repro.targets import make_comb_pair_circuit
+
+
+@pytest.fixture
+def circuit_file(tmp_path):
+    path = tmp_path / "pair.fir"
+    path.write_text(print_circuit(make_comb_pair_circuit()))
+    return str(path)
+
+
+class TestReport:
+    def test_prints_interface(self, circuit_file, capsys):
+        rc = main(["report", circuit_file, "--extract", "right"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "interface base <-> fpga0: 64 bits" in out
+        assert "expected rate" in out
+
+    def test_compile_error_is_reported(self, circuit_file, capsys):
+        rc = main(["report", circuit_file, "--extract", "ghost"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "error:" in err
+
+
+class TestPartition:
+    def test_writes_parseable_files(self, circuit_file, tmp_path,
+                                    capsys):
+        out_dir = tmp_path / "parts"
+        rc = main(["partition", circuit_file, "--extract", "right",
+                   "--out", str(out_dir)])
+        assert rc == 0
+        base = parse_circuit((out_dir / "base.fir").read_text())
+        fpga = parse_circuit((out_dir / "fpga0.fir").read_text())
+        assert base.top == "CombPairTop"
+        assert fpga.top.startswith("Wrapper")
+
+
+class TestSimulate:
+    def test_runs_and_reports_rate(self, circuit_file, capsys):
+        rc = main(["simulate", circuit_file, "--extract", "right",
+                   "--cycles", "40", "--mode", "fast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "simulated 40 target cycles" in out
+        assert "MHz" in out
+
+    def test_transport_selection(self, circuit_file, capsys):
+        rc = main(["simulate", circuit_file, "--extract", "right",
+                   "--cycles", "20", "--transport", "host-pcie"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "host_managed_pcie" in out
+
+
+class TestAutoPartition:
+    def test_prints_groups(self, circuit_file, capsys):
+        rc = main(["autopartition", circuit_file, "--fpgas", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "boundary cut" in out

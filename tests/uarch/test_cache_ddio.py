@@ -1,0 +1,126 @@
+"""DDIO cache semantics and the leaky-DMA experiment engine."""
+
+import pytest
+
+from repro.uarch.cache import CacheModel
+from repro.uarch.ddio import RING, XBAR, LeakyDMAExperiment, sweep
+from repro.uarch.dram import DRAMModel
+from repro.uarch.interconnect import RingFabric, XbarFabric
+
+
+class TestCacheModel:
+    def _cache(self):
+        # 4 KiB, 4 ways, 2 DDIO ways, 64B lines -> 16 sets
+        return CacheModel(4, 4, 2)
+
+    def test_geometry(self):
+        c = self._cache()
+        assert c.n_sets == 16
+
+    def test_ddio_exceeding_ways_rejected(self):
+        with pytest.raises(ValueError):
+            CacheModel(4, 4, 5)
+
+    def test_cpu_miss_then_hit(self):
+        c = self._cache()
+        assert not c.cpu_access(0x1000, 1.0)
+        assert c.cpu_access(0x1000, 2.0)
+
+    def test_io_writes_confined_to_ddio_ways(self):
+        """Three I/O lines mapping to one set can only keep two resident
+        (the 2 DDIO ways); a third evicts the LRU one."""
+        c = self._cache()
+        set_stride = c.n_sets * 64
+        addrs = [i * set_stride for i in range(3)]  # same set
+        for i, a in enumerate(addrs):
+            c.io_write(a, float(i))
+        assert c.stats["io_evictions_of_unread"] == 1
+        # oldest line is gone
+        assert not c.io_read(addrs[0], 10.0)
+        assert c.io_read(addrs[1], 11.0)
+        assert c.io_read(addrs[2], 12.0)
+
+    def test_cpu_uses_full_associativity(self):
+        c = self._cache()
+        set_stride = c.n_sets * 64
+        for i in range(4):
+            c.cpu_access(i * set_stride, float(i))
+        # all four ways hold cpu lines
+        for i in range(4):
+            assert c.cpu_access(i * set_stride, 10.0 + i)
+
+    def test_io_read_does_not_allocate(self):
+        c = self._cache()
+        assert not c.io_read(0x2000, 1.0)
+        assert not c.io_read(0x2000, 2.0)  # still a miss
+
+    def test_hit_rate_accounting(self):
+        c = self._cache()
+        c.cpu_access(0, 1.0)
+        c.cpu_access(0, 2.0)
+        assert c.hit_rate("cpu") == 0.5
+
+
+class TestFabrics:
+    def test_xbar_serializes_port(self):
+        f = XbarFabric(n_ports=4)
+        t1, _ = f.traverse(0, 0.0, 0)
+        t2, _ = f.traverse(1, 0.0, 64)
+        assert t2 > t1  # second request queues behind the first
+
+    def test_ring_banks_parallel(self):
+        f = RingFabric(n_stops=8)
+        t1, b1 = f.traverse(0, 0.0, 0)
+        t2, b2 = f.traverse(0, 0.0, 64)
+        assert b1 != b2  # consecutive lines hit different banks
+
+    def test_ring_hop_latency(self):
+        f = RingFabric(n_stops=8)
+        near, _ = f.traverse(0, 0.0, 0)        # bank 0 at stop 0
+        fresh = RingFabric(n_stops=8)
+        far, _ = fresh.traverse(4, 0.0, 0)     # several hops away
+        assert far > near
+
+
+class TestDRAM:
+    def test_latency_plus_queueing(self):
+        d = DRAMModel(latency_ns=100.0, service_ns=10.0)
+        first = d.access(0.0)
+        second = d.access(0.0)
+        assert first == 100.0
+        assert second == 110.0
+
+
+class TestLeakyDMA:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep([1, 6, 12], packets_per_core=120)
+
+    def test_latency_grows_with_cores(self, small_sweep):
+        for topo in (XBAR, RING):
+            series = [r for r in small_sweep if r.topology == topo]
+            wr = [r.nic_write_latency_ns for r in series]
+            assert wr[0] < wr[1] < wr[2]
+
+    def test_xbar_worse_at_scale(self, small_sweep):
+        by = {(r.topology, r.n_cores): r for r in small_sweep}
+        assert by[(XBAR, 12)].nic_write_latency_ns \
+            > by[(RING, 12)].nic_write_latency_ns
+
+    def test_xbar_cheaper_at_low_load(self, small_sweep):
+        by = {(r.topology, r.n_cores): r for r in small_sweep}
+        assert by[(XBAR, 1)].nic_write_latency_ns \
+            < by[(RING, 1)].nic_write_latency_ns
+
+    def test_cache_leak_visible(self, small_sweep):
+        series = [r for r in small_sweep if r.topology == XBAR]
+        assert series[0].cpu_hit_rate > series[-1].cpu_hit_rate
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            LeakyDMAExperiment(2, topology="mesh")
+
+    def test_packets_conserved(self):
+        result = LeakyDMAExperiment(2, packets_per_core=50).run()
+        assert result.packets_forwarded + result.rx_drops \
+            == 2 * 50

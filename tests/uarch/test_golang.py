@@ -1,0 +1,71 @@
+"""Go GC tail-latency model: the Fig. 10 orderings."""
+
+import pytest
+
+from repro.uarch.golang import GoGCConfig, fig10_grid, run_benchmark
+from repro.uarch.sched import AffinityCostModel
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {(r.config.gomaxprocs, r.config.affinity_cores): r
+            for r in fig10_grid(duration_ms=300.0)}
+
+
+class TestFig10Ordering:
+    def test_single_p_has_worst_tail(self, grid):
+        single = grid[(1, 1)]
+        for key, r in grid.items():
+            if key != (1, 1):
+                assert single.p99_ms > 3 * r.p99_ms
+
+    def test_pinned_beats_spread(self, grid):
+        """The paper's surprising result: pinning to one core gives a
+        lower tail than spreading across GOMAXPROCS cores."""
+        for procs in (2, 4):
+            pinned = grid[(procs, 1)]
+            spread = grid[(procs, procs)]
+            assert pinned.p99_ms < spread.p99_ms
+            assert pinned.p95_ms < spread.p95_ms
+
+    def test_millisecond_scale(self, grid):
+        assert grid[(1, 1)].p99_ms > 1.0
+        for r in grid.values():
+            assert r.p99_ms < 100.0
+
+    def test_p95_below_p99(self, grid):
+        for r in grid.values():
+            assert r.p50_ms <= r.p95_ms <= r.p99_ms <= r.max_ms
+
+
+class TestModelBehaviour:
+    def test_deterministic(self):
+        cfg = GoGCConfig(gomaxprocs=2, affinity_cores=2,
+                         duration_ms=100.0)
+        a = run_benchmark(cfg)
+        b = run_benchmark(cfg)
+        assert a.p99_ms == b.p99_ms
+
+    def test_shorter_gc_lowers_tail(self):
+        heavy = run_benchmark(GoGCConfig(gomaxprocs=1, affinity_cores=1,
+                                         duration_ms=200.0))
+        light = run_benchmark(GoGCConfig(gomaxprocs=1, affinity_cores=1,
+                                         duration_ms=200.0,
+                                         gc_cpu_us=4_000.0,
+                                         gc_chunk_us=2_000.0))
+        assert light.p99_ms < heavy.p99_ms
+
+    def test_costlier_coherence_raises_spread_tail(self):
+        cfg = GoGCConfig(gomaxprocs=2, affinity_cores=2,
+                         duration_ms=200.0)
+        cheap = run_benchmark(cfg, AffinityCostModel(
+            coherence_inflation=1.2, migration_window_us=200.0))
+        costly = run_benchmark(cfg, AffinityCostModel(
+            coherence_inflation=6.0, migration_window_us=4_000.0))
+        assert costly.p99_ms > cheap.p99_ms
+
+    def test_xeon_numa_comparison(self):
+        from repro.experiments.fig10 import xeon_numa_comparison
+
+        same, cross = xeon_numa_comparison(duration_ms=800.0)
+        assert cross > same  # cross-NUMA coherence hurts (28 vs 42 ms)

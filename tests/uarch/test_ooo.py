@@ -1,0 +1,127 @@
+"""OoO pipeline model: invariants and Table-I/Fig-7 expectations."""
+
+import pytest
+
+from repro.uarch import (
+    EMBENCH,
+    GC40_BOOM,
+    GC_XEON,
+    LARGE_BOOM,
+    CoreParams,
+    OoOCoreModel,
+)
+from repro.uarch.cpistack import CPIStack, cpi_stacks
+from repro.uarch.ooo import CATEGORIES
+from repro.uarch.workloads import EMBENCH_BY_NAME
+
+N = 12_000
+
+
+def _ipc(core, workload):
+    return OoOCoreModel(core).run(workload, n_instr=N).ipc
+
+
+class TestInvariants:
+    def test_deterministic(self):
+        wl = EMBENCH_BY_NAME["edn"]
+        a = OoOCoreModel(LARGE_BOOM).run(wl, n_instr=N)
+        b = OoOCoreModel(LARGE_BOOM).run(wl, n_instr=N)
+        assert a.cycles == b.cycles
+        assert a.stack_cycles == b.stack_cycles
+
+    def test_ipc_bounded_by_width(self):
+        for wl in EMBENCH[:4]:
+            assert _ipc(LARGE_BOOM, wl) <= LARGE_BOOM.issue_width
+
+    def test_stack_sums_to_cpi(self):
+        wl = EMBENCH_BY_NAME["huffbench"]
+        result = OoOCoreModel(LARGE_BOOM).run(wl, n_instr=N)
+        assert sum(result.cpi_stack().values()) \
+            == pytest.approx(result.cpi, rel=1e-6)
+
+    def test_wider_core_never_slower(self):
+        for wl in EMBENCH:
+            assert _ipc(GC40_BOOM, wl) >= _ipc(LARGE_BOOM, wl) * 0.99
+
+    def test_runtime_extrapolation(self):
+        wl = EMBENCH_BY_NAME["crc32"]
+        res = OoOCoreModel(LARGE_BOOM).run(wl, n_instr=N)
+        runtime = res.runtime_seconds(wl.instructions, 3.4)
+        assert runtime == pytest.approx(
+            wl.instructions * res.cpi / 3.4e9)
+
+
+class TestPaperShapes:
+    def test_nettle_aes_large_uplift(self):
+        wl = EMBENCH_BY_NAME["nettle-aes"]
+        uplift = _ipc(GC40_BOOM, wl) / _ipc(LARGE_BOOM, wl) - 1
+        assert uplift > 0.40  # paper: ~56%
+
+    def test_nbody_small_uplift(self):
+        wl = EMBENCH_BY_NAME["nbody"]
+        uplift = _ipc(GC40_BOOM, wl) / _ipc(LARGE_BOOM, wl) - 1
+        assert uplift < 0.10  # paper: ~2%
+
+    def test_average_uplift_band(self):
+        uplifts = [
+            _ipc(GC40_BOOM, wl) / _ipc(LARGE_BOOM, wl) - 1
+            for wl in EMBENCH
+        ]
+        avg = sum(uplifts) / len(uplifts)
+        assert 0.10 < avg < 0.30  # paper: 15.8%
+
+    def test_xeon_fastest(self):
+        for wl in EMBENCH:
+            assert _ipc(GC_XEON, wl) >= _ipc(GC40_BOOM, wl) * 0.99
+
+
+class TestCPIStacks:
+    def test_categories_complete(self):
+        stacks = cpi_stacks([LARGE_BOOM],
+                            [EMBENCH_BY_NAME["nettle-aes"]], n_instr=N)
+        assert set(stacks[0].components) == set(CATEGORIES)
+
+    def test_nbody_execution_bound(self):
+        stacks = cpi_stacks([LARGE_BOOM], [EMBENCH_BY_NAME["nbody"]],
+                            n_instr=N)
+        comp = stacks[0].components
+        assert comp["execution"] == max(comp.values())
+
+    def test_normalized_sums_to_one(self):
+        stacks = cpi_stacks([LARGE_BOOM], [EMBENCH_BY_NAME["st"]],
+                            n_instr=N)
+        assert sum(stacks[0].normalized().values()) == pytest.approx(1.0)
+
+    def test_render_contains_rows(self):
+        from repro.uarch.cpistack import render_stacks
+
+        stacks = cpi_stacks([LARGE_BOOM, GC40_BOOM],
+                            [EMBENCH_BY_NAME["crc32"]], n_instr=N)
+        text = render_stacks(stacks)
+        assert "crc32" in text and "GC40 BOOM" in text
+
+
+class TestWorkloadTraces:
+    def test_trace_shapes_and_determinism(self):
+        wl = EMBENCH_BY_NAME["edn"]
+        t1 = wl.trace(5000)
+        t2 = wl.trace(5000)
+        for key in t1:
+            assert (t1[key] == t2[key]).all()
+        assert t1["kind"].shape == (5000,)
+
+    def test_dep_distances_causal(self):
+        wl = EMBENCH_BY_NAME["matmult-int"]
+        t = wl.trace(5000)
+        import numpy as np
+
+        idx = np.arange(5000)
+        assert (t["dep1"] <= idx).all()
+        assert (t["dep2"] <= idx).all()
+
+    def test_mix_fractions_sane(self):
+        for wl in EMBENCH:
+            assert wl.frac_alu > 0
+            total = (wl.frac_alu + wl.frac_mul + wl.frac_load
+                     + wl.frac_store + wl.frac_branch)
+            assert total == pytest.approx(1.0)
