@@ -8,6 +8,9 @@ scale, operating on circuit files in the textual IR format:
 * ``partition`` — write the per-FPGA partition circuits to files,
 * ``simulate``  — run the partitioned co-simulation and report the
   achieved rate (optionally until an output signal asserts),
+* ``reliability`` — run a supervised, fault-injected co-simulation over
+  reliable links; report the rate degradation versus a fault-free run
+  and verify the delivered outputs stayed bit-identical,
 * ``autopartition`` — run the boundary search and print the resulting
   spec,
 * ``experiments`` — alias for ``python -m repro.experiments``.
@@ -41,6 +44,12 @@ from .platform import (
     PCIE_P2P,
     QSFP_AURORA,
     XILINX_U250,
+)
+from .reliability import (
+    FaultSpec,
+    RunSupervisor,
+    harden_links,
+    inject_faults,
 )
 
 TRANSPORTS = {
@@ -121,6 +130,79 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_flaps(entries: List[str]) -> List[tuple]:
+    flaps = []
+    for entry in entries:
+        try:
+            start, duration = entry.split(":")
+            flaps.append((float(start), float(duration)))
+        except ValueError:
+            raise ReproError(
+                f"--flap wants START_NS:DURATION_NS, got {entry!r}")
+    return flaps
+
+
+def cmd_reliability(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    fault_spec = FaultSpec(
+        seed=args.seed,
+        drop_rate=args.drop_rate,
+        corrupt_rate=args.corrupt_rate,
+        spike_rate=args.spike_rate,
+        spike_ns=args.spike_ns,
+        flaps=tuple(_parse_flaps(args.flap or [])))
+
+    def build(faults=None):
+        sim = design.build_simulation(
+            TRANSPORTS[args.transport], host_freq_mhz=args.freq,
+            record_outputs=True)
+        if args.unreliable:
+            if faults is not None:
+                inject_faults(sim, faults)
+        else:
+            harden_links(sim, faults)
+        return sim
+
+    baseline = build()
+    base_result = baseline.run(args.cycles)
+
+    supervisor = RunSupervisor(
+        lambda: build(fault_spec),
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        max_rollbacks=args.max_rollbacks,
+        crash_at_cycles=args.crash_at or [])
+    report = supervisor.run(args.cycles)
+    result = report.result
+
+    layer = "raw (unreliable)" if args.unreliable else "reliable"
+    print(f"supervised {result.target_cycles} target cycles over "
+          f"{layer} {TRANSPORTS[args.transport].name} links")
+    print(f"fault schedule: seed={fault_spec.seed} "
+          f"drop={fault_spec.drop_rate} corrupt={fault_spec.corrupt_rate} "
+          f"spike={fault_spec.spike_rate} flaps={len(fault_spec.flaps)}")
+    print(f"fault-free rate: {base_result.rate_khz:.2f} kHz")
+    print(f"achieved rate:   {result.rate_khz:.2f} kHz "
+          f"({result.rate_hz / base_result.rate_hz * 100:.1f}% of "
+          f"fault-free)")
+    identical = report.output_log == baseline.output_log
+    print(f"outputs bit-identical to fault-free run: "
+          f"{'yes' if identical else 'NO'}")
+    print(f"checkpoints: {report.checkpoints}  "
+          f"rollbacks: {report.rollbacks}")
+    for key, stats in (result.detail.get("reliability") or {}).items():
+        print(f"  {key}: delivered={stats['delivered']} "
+              f"retries={stats['retries']} "
+              f"drops_recovered={stats['drops_recovered']} "
+              f"crc_rejects={stats['crc_rejects']} "
+              f"flap_stalls={stats['flap_stalls']}")
+    for event in report.events:
+        if event.kind in ("crash", "stall", "rollback"):
+            print(f"  [{event.kind}@{event.cycle}] {event.note}")
+    return 0 if identical or args.unreliable else 1
+
+
 def cmd_autopartition(args) -> int:
     circuit = _load(args.circuit)
     result = auto_partition(circuit, n_fpgas=args.fpgas, mode=args.mode,
@@ -159,6 +241,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sim.add_argument("--until", metavar="SIGNAL",
                        help="stop when this base output reads 1")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_rel = subs.add_parser(
+        "reliability",
+        help="supervised fault-injected co-simulation over reliable "
+             "links")
+    _add_common(p_rel)
+    p_rel.add_argument("--transport", choices=TRANSPORTS, default="qsfp")
+    p_rel.add_argument("--freq", type=float, default=30.0)
+    p_rel.add_argument("--cycles", type=int, default=200)
+    p_rel.add_argument("--seed", type=int, default=0,
+                       help="fault schedule seed")
+    p_rel.add_argument("--drop-rate", type=float, default=0.0)
+    p_rel.add_argument("--corrupt-rate", type=float, default=0.0)
+    p_rel.add_argument("--spike-rate", type=float, default=0.0)
+    p_rel.add_argument("--spike-ns", type=float, default=20_000.0)
+    p_rel.add_argument("--flap", action="append",
+                       metavar="START_NS:DURATION_NS",
+                       help="link outage window (repeatable)")
+    p_rel.add_argument("--checkpoint-every", type=int, default=100,
+                       help="target cycles between checkpoints")
+    p_rel.add_argument("--checkpoint-dir",
+                       help="also persist checkpoints to this directory")
+    p_rel.add_argument("--max-rollbacks", type=int, default=3)
+    p_rel.add_argument("--crash-at", action="append", type=int,
+                       metavar="CYCLE",
+                       help="inject a one-shot host crash (repeatable)")
+    p_rel.add_argument("--unreliable", action="store_true",
+                       help="skip the reliable link layer (faults then "
+                            "corrupt results or deadlock the run)")
+    p_rel.set_defaults(fn=cmd_reliability)
 
     p_auto = subs.add_parser("autopartition",
                              help="search for partition boundaries")

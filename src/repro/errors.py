@@ -100,3 +100,30 @@ class ResourceError(ReproError):
 
 class TransportError(ReproError):
     """Misconfigured FPGA-to-FPGA transport (topology, link count)."""
+
+
+class CheckpointError(ReproError):
+    """A partitioned-run checkpoint could not be taken or restored.
+
+    Raised for unreadable or version-incompatible checkpoint files and
+    for restores into a simulation whose topology (partitions, units,
+    channels, links) does not match the one that was checkpointed.
+    """
+
+
+class LinkGiveUpError(TransportError):
+    """A reliable link exhausted its retry budget for one token.
+
+    Attributes:
+        link: the link's identity string.
+        seq: sequence number of the undeliverable token.
+        attempts: how many transmission attempts were made.
+    """
+
+    def __init__(self, link: str, seq: int, attempts: int):
+        self.link = link
+        self.seq = seq
+        self.attempts = attempts
+        super().__init__(
+            f"link {link}: token seq={seq} undeliverable after "
+            f"{attempts} attempts")

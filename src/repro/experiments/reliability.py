@@ -1,0 +1,92 @@
+"""Fault-rate vs achieved-rate degradation curves.
+
+Runs the two-FPGA comb pair over reliable QSFP links while sweeping the
+per-attempt fault rate (split evenly across drops, bit corruption, and
+latency spikes, plus one link-flap window for every faulty point).  For
+each point we verify the reliable layer's guarantee — the delivered
+token stream is bit-identical to the fault-free run — and report how
+much simulation rate the recoveries cost.  This is the degradation
+curve an operator consults to decide whether a flaky cable is worth
+swapping mid-campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..fireripper import FAST, FireRipper, PartitionGroup, PartitionSpec
+from ..platform.transport import QSFP_AURORA
+from ..reliability import FaultSpec, harden_links
+from ..targets import make_comb_pair_circuit
+
+#: one cable pull per faulty run, early enough to land mid-run
+FLAP_WINDOW = (30_000.0, 40_000.0)
+
+
+@dataclass
+class FaultRatePoint:
+    """One point of the degradation curve."""
+
+    fault_rate: float
+    rate_hz: float
+    relative: float  # fraction of the fault-free rate
+    retries: int
+    drops_recovered: int
+    crc_rejects: int
+    flap_stalls: int
+    bit_identical: bool
+
+
+def _build(design):
+    return design.build_simulation(QSFP_AURORA, record_outputs=True)
+
+
+def run(fault_rates: Sequence[float] = (0.0, 0.01, 0.03, 0.06, 0.12),
+        cycles: int = 160, seed: int = 7) -> List[FaultRatePoint]:
+    spec = PartitionSpec(mode=FAST, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    design = FireRipper(spec).compile(make_comb_pair_circuit())
+
+    clean = _build(design)
+    harden_links(clean)
+    clean_result = clean.run(cycles)
+
+    points: List[FaultRatePoint] = []
+    for rate in fault_rates:
+        sim = _build(design)
+        fault_spec = None
+        if rate > 0:
+            fault_spec = FaultSpec(
+                seed=seed, drop_rate=rate / 3, corrupt_rate=rate / 3,
+                spike_rate=rate / 3, flaps=(FLAP_WINDOW,))
+        harden_links(sim, fault_spec)
+        result = sim.run(cycles)
+        stats = result.detail.get("reliability", {})
+        totals = {key: sum(s[key] for s in stats.values())
+                  for key in ("retries", "drops_recovered",
+                              "crc_rejects", "flap_stalls")}
+        points.append(FaultRatePoint(
+            fault_rate=rate,
+            rate_hz=result.rate_hz,
+            relative=result.rate_hz / clean_result.rate_hz,
+            retries=totals["retries"],
+            drops_recovered=totals["drops_recovered"],
+            crc_rejects=totals["crc_rejects"],
+            flap_stalls=totals["flap_stalls"],
+            bit_identical=sim.output_log == clean.output_log))
+    return points
+
+
+def format_table(points: Sequence[FaultRatePoint]) -> str:
+    lines = [f"{'fault rate':>11}{'rate(kHz)':>11}{'vs clean':>10}"
+             f"{'retries':>9}{'drops':>7}{'crc':>6}{'flaps':>7}"
+             f"{'identical':>11}"]
+    for p in points:
+        lines.append(
+            f"{p.fault_rate:>11.3f}{p.rate_hz / 1e3:>11.1f}"
+            f"{p.relative * 100:>9.1f}%{p.retries:>9}"
+            f"{p.drops_recovered:>7}{p.crc_rejects:>6}"
+            f"{p.flap_stalls:>7}"
+            f"{'yes' if p.bit_identical else 'NO':>11}")
+    return "\n".join(lines)

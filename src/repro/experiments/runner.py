@@ -28,6 +28,7 @@ from . import (
     fig12,
     fig13,
     fig14,
+    reliability,
     table1,
     table2,
 )
@@ -48,6 +49,8 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
         lambda: casestudy_24core.format_table(casestudy_24core.run()),
     "casestudy_gc40":
         lambda: casestudy_gc40.format_table(casestudy_gc40.run()),
+    "reliability":
+        lambda: reliability.format_table(reliability.run()),
 }
 
 

@@ -24,8 +24,18 @@ with each stuck unit's channel state.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import DeadlockError, SimulationError, TransportError
 from ..libdn.fame5 import FAME5Host
@@ -103,12 +113,34 @@ class Partition:
 
 
 @dataclass
+class TransmitResult:
+    """Outcome of pushing one token onto a link.
+
+    ``retry_delay_ns`` is the extra time the link was held busy by
+    retransmissions (reliable links); it is added to the link occupancy
+    so degraded links show up as a lower achieved simulation rate.
+    """
+
+    arrive_ns: float
+    token: Token
+    delivered: bool
+    retries: int = 0
+    retry_delay_ns: float = 0.0
+
+
+@dataclass
 class Link:
     """Unidirectional token connection between two partition channels.
 
     ``rename`` maps source-side port names to destination-side port names
     (used when a FAME-5 thread's channel ports are the bare module port
     names while the base side punched instance-prefixed names).
+
+    ``reliability`` optionally holds a
+    :class:`~repro.reliability.link.ReliableLinkLayer`; when set, every
+    token goes through CRC/sequence/ack-retry framing and injected
+    transport faults are recovered (at a timing cost) instead of
+    corrupting or deadlocking the simulation.
     """
 
     src: Tuple[str, str]  # (partition name, output channel name)
@@ -117,11 +149,35 @@ class Link:
     rename: Optional[Dict[str, str]] = None
     next_free: float = 0.0
     tokens: int = 0
+    reliability: Optional[object] = None
+
+    @property
+    def key(self) -> str:
+        """Stable identity used to derive deterministic fault schedules."""
+        return f"{self.src[0]}.{self.src[1]}->{self.dst[0]}.{self.dst[1]}"
 
     def map_token(self, token: Token) -> Token:
         if not self.rename:
             return token
         return {self.rename.get(k, k): v for k, v in token.items()}
+
+    def transmit(self, depart_ns: float, width_bits: int,
+                 token: Token) -> TransmitResult:
+        """Move one token across the link starting at ``depart_ns``.
+
+        Dispatches to the reliable link layer when one is attached, then
+        to a fault injector when the transport carries one, and falls
+        back to the ideal lossless wire otherwise.
+        """
+        if self.reliability is not None:
+            return self.reliability.transmit(
+                self, depart_ns, width_bits, token)
+        injector = getattr(self.transport, "injector", None)
+        if injector is not None:
+            return injector.raw_transmit(
+                self, depart_ns, width_bits, token)
+        return TransmitResult(
+            depart_ns + self.transport.wire_ns(width_bits), token, True)
 
 
 class PartitionedSimulation:
@@ -148,7 +204,7 @@ class PartitionedSimulation:
                 raise TransportError(
                     f"output channel {link.src} has two links")
             self._link_by_src[link.src] = link
-        self._arrivals: Dict[Tuple[str, str], List[float]] = {}
+        self._arrivals: Dict[Tuple[str, str], Deque[float]] = {}
         #: LI-BDNs are *bounded* dataflow networks.  ``channel_capacity``
         #: is the extra in-flight credit a sender has beyond the single
         #: token a latency-insensitive channel holds: 0 reproduces the
@@ -156,9 +212,18 @@ class PartitionedSimulation:
         #: fast-mode seed — living between the LI-BDNs); None removes the
         #: bound entirely (idealized infinite host buffering).
         self.channel_capacity = channel_capacity
-        self._consume_times: Dict[Tuple[str, str], List[float]] = {}
+        self._consume_times: Dict[Tuple[str, str], Deque[float]] = {}
+        #: number of consume-time entries trimmed from the left of each
+        #: queue; credit lookups index relative to this base so the queues
+        #: stay O(in-flight tokens) over arbitrarily long runs.
+        self._consume_base: Dict[Tuple[str, str], int] = {}
+        self._dst_link_count: Dict[Tuple[str, str], int] = {}
+        for link in self.links:
+            self._dst_link_count[link.dst] = \
+                self._dst_link_count.get(link.dst, 0) + 1
         self._validate(seed_boundary)
         self.total_tokens = 0
+        self.dropped_tokens = 0
         self._steps = 0
 
     # -- setup ---------------------------------------------------------------
@@ -217,7 +282,7 @@ class PartitionedSimulation:
         part = self.partitions[dst[0]]
         _, unit, base = self._resolve(part, dst[1], "in")
         unit.deliver(base, token)
-        self._arrivals.setdefault(dst, []).append(arrival_ns)
+        self._arrivals.setdefault(dst, deque()).append(arrival_ns)
 
     def _feed_sources(self, part: Partition) -> None:
         for prefix, unit in part.units:
@@ -229,12 +294,12 @@ class PartitionedSimulation:
                     self._deliver(key, token, 0.0)
 
     def _head_arrival(self, key: Tuple[str, str]) -> float:
-        queue = self._arrivals.get(key, [])
+        queue = self._arrivals.get(key)
         return queue[0] if queue else 0.0
 
     def _pop_arrival(self, key: Tuple[str, str]) -> float:
-        queue = self._arrivals.get(key, [])
-        return queue.pop(0) if queue else 0.0
+        queue = self._arrivals.get(key)
+        return queue.popleft() if queue else 0.0
 
     # -- main loop ----------------------------------------------------------------
 
@@ -253,13 +318,26 @@ class PartitionedSimulation:
             start = max(part.busy_until, dep_arrival)
             link = self._link_by_src.get((part.name, full))
             if link is not None and self.channel_capacity is not None:
-                consumed = self._consume_times.get(link.dst, [])
+                consumed = self._consume_times.get(link.dst, deque())
                 credit_index = link.tokens - self.channel_capacity
                 if credit_index >= 0:
-                    if credit_index < len(consumed):
-                        start = max(start, consumed[credit_index])
-                    elif consumed:
+                    rel = credit_index - self._consume_base.get(
+                        link.dst, 0)
+                    if 0 <= rel < len(consumed):
+                        start = max(start, consumed[rel])
+                    elif rel >= len(consumed) and consumed:
                         start = max(start, consumed[-1])
+                    # future credit indices for this link only grow, so
+                    # once it is the sole feeder of dst every entry below
+                    # ``rel`` is dead — trim, keeping the newest entry
+                    # for the receiver-behind fallback above.
+                    if self._dst_link_count.get(link.dst) == 1 \
+                            and rel > 0 and consumed:
+                        drop = min(rel, len(consumed) - 1)
+                        for _ in range(drop):
+                            consumed.popleft()
+                        self._consume_base[link.dst] = \
+                            self._consume_base.get(link.dst, 0) + drop
             if link is None:
                 # external observation channel (a FireSim bridge tap):
                 # drained by wide DMA batches, effectively free
@@ -280,11 +358,18 @@ class PartitionedSimulation:
             if switch is not None:
                 # switched Ethernet: contend on the shared backplane
                 depart = switch.traverse(depart, spec.width)
-            arrive = depart + link.transport.wire_ns(spec.width)
-            dst_part = self.partitions[link.dst[0]]
-            rx_ns = (link.transport.serdes_cycles(spec.width)
-                     * dst_part.host_cycle_ns)
-            self._deliver(link.dst, link.map_token(token), arrive + rx_ns)
+            res = link.transmit(depart, spec.width, token)
+            # retransmissions hold the link busy beyond the clean
+            # occupancy window
+            link.next_free += res.retry_delay_ns
+            if res.delivered:
+                dst_part = self.partitions[link.dst[0]]
+                rx_ns = (link.transport.serdes_cycles(spec.width)
+                         * dst_part.host_cycle_ns)
+                self._deliver(link.dst, link.map_token(res.token),
+                              res.arrive_ns + rx_ns)
+            else:
+                self.dropped_tokens += 1
             link.tokens += 1
             self.total_tokens += 1
         if unit.can_advance():
@@ -294,10 +379,15 @@ class PartitionedSimulation:
                 arrival = self._pop_arrival((part.name, prefix + base))
                 input_ready = max(input_ready, arrival)
             start = max(part.busy_until, input_ready)
-            for base in unit.in_channels:
-                self._consume_times.setdefault(
-                    (part.name, prefix + base), []).append(
-                        start + part.host_cycle_ns)
+            if self.channel_capacity is not None:
+                for base in unit.in_channels:
+                    key = (part.name, prefix + base)
+                    # only link-fed channels are read back by the credit
+                    # logic; recording source-fed ones would grow forever
+                    if key in self._dst_link_count:
+                        self._consume_times.setdefault(
+                            key, deque()).append(
+                                start + part.host_cycle_ns)
             part.busy_until = (start + part.host_cycle_ns
                                + part.advance_overhead_ns)
             unit.advance()
@@ -350,6 +440,15 @@ class PartitionedSimulation:
             if p.target_cycle:
                 host_cycles = p.busy_until / p.host_cycle_ns
                 fmr[name] = host_cycles / p.target_cycle
+        detail: Dict[str, object] = {"fmr": fmr}
+        if self.dropped_tokens:
+            detail["dropped_tokens"] = self.dropped_tokens
+        link_stats = {
+            link.key: dict(link.reliability.stats)
+            for link in self.links if link.reliability is not None
+        }
+        if link_stats:
+            detail["reliability"] = link_stats
         return SimulationResult(
             target_cycles=cycles,
             wall_ns=wall_ns,
@@ -359,5 +458,5 @@ class PartitionedSimulation:
                 name: p.target_cycle
                 for name, p in self.partitions.items()
             },
-            detail={"fmr": fmr},
+            detail=detail,
         )

@@ -108,5 +108,21 @@ class FAME5Host:
             progress |= t.host_step()
         return progress
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Capture every thread's state (see
+        :meth:`~repro.libdn.wrapper.LIBDNHost.state_dict`)."""
+        return {"threads": [t.state_dict() for t in self.threads]}
+
+    def load_state_dict(self, state: dict) -> None:
+        saved = state["threads"]
+        if len(saved) != len(self.threads):
+            raise SimulationError(
+                f"{self.name}: checkpoint has {len(saved)} threads, "
+                f"host has {len(self.threads)}")
+        for thread, thread_state in zip(self.threads, saved):
+            thread.load_state_dict(thread_state)
+
     def stuck_detail(self) -> str:
         return " || ".join(t.stuck_detail() for t in self.threads)

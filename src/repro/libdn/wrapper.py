@@ -154,6 +154,50 @@ class LIBDNHost:
             progress = True
         return progress
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Capture the full host state (simulator, channel queues, fire
+        FSMs, outbox) as a JSON-serializable dict.  Together with the
+        harness-level link/timing state this is everything needed to
+        resume a partitioned run bit-identically."""
+        def channels(table: Dict[str, Channel]) -> dict:
+            return {
+                name: {
+                    "tokens": [dict(t) for t in ch.queue],
+                    "total_enqueued": ch.total_enqueued,
+                }
+                for name, ch in table.items()
+            }
+        return {
+            "target_cycle": self.target_cycle,
+            "sim": self.sim.snapshot(),
+            "in_channels": channels(self.in_channels),
+            "out_channels": channels(self.out_channels),
+            "fired": dict(self._fired),
+            "outbox": [[name, dict(token)] for name, token in self.outbox],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` capture onto a structurally
+        identical host (same channels and underlying module)."""
+        for attr, table in (("in_channels", self.in_channels),
+                            ("out_channels", self.out_channels)):
+            saved = state[attr]
+            if set(saved) != set(table):
+                raise SimulationError(
+                    f"{self.name}: checkpoint {attr} {sorted(saved)} do "
+                    f"not match this host's {sorted(table)}")
+            for name, ch in table.items():
+                ch.queue.clear()
+                ch.queue.extend(dict(t) for t in saved[name]["tokens"])
+                ch.total_enqueued = saved[name]["total_enqueued"]
+        self.sim.restore(state["sim"])
+        self._fired = dict(state["fired"])
+        self.outbox = [(name, dict(token))
+                       for name, token in state["outbox"]]
+        self.target_cycle = state["target_cycle"]
+
     def stuck_detail(self) -> str:
         """Describe why the host cannot progress (for deadlock reports)."""
         waiting = []

@@ -1,0 +1,197 @@
+"""Checkpoint/restore of a whole :class:`PartitionedSimulation`.
+
+A checkpoint captures everything that determines the rest of a
+partitioned run:
+
+* per-unit LI-BDN state — simulator signals/memories/cycle, channel
+  queues, fire-FSM flags, outbox — for plain and FAME-5 hosts alike,
+* the timing overlay — per-partition ``busy_until`` cursors, per-link
+  ``next_free``/``tokens``, shared switch backplane cursors,
+* the harness queues — pending arrival times, credit consume times (and
+  their trim bases), token counters, the recorded output log,
+* reliable-link layer state (sequence numbers, stats) when attached.
+
+The on-disk format is versioned JSON; :func:`restore_state` validates a
+topology fingerprint so a checkpoint can only land on a structurally
+identical simulation (same partitions, units, channels, links) — the
+intended flow is to rebuild the simulation from the same design in a
+fresh process, then restore.  Token sources are *not* captured: they are
+pure functions of the target cycle and are rebuilt with the simulation.
+
+Fault schedules replay identically after restore because they are
+derived from ``(seed, link, seq, attempt)``, not from RNG state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import CheckpointError
+from ..harness.partitioned import Link, PartitionedSimulation
+
+CHECKPOINT_FORMAT = "fireaxe-repro-partitioned-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_Key = Tuple[str, str]
+
+
+def _encode_keyed(table: Dict[_Key, object]) -> List[list]:
+    return [[list(key), value] for key, value in sorted(table.items())]
+
+
+def _decode_keyed(entries: List[list]) -> Dict[_Key, object]:
+    return {(key[0], key[1]): value for key, value in entries}
+
+
+def _topology(sim: PartitionedSimulation) -> dict:
+    return {
+        "partitions": {
+            name: {
+                "units": [prefix for prefix, _ in p.units],
+                "in_channels": sorted(p.channel_names("in")),
+                "out_channels": sorted(p.channel_names("out")),
+            }
+            for name, p in sim.partitions.items()
+        },
+        "links": [[list(l.src), list(l.dst)] for l in sim.links],
+        "channel_capacity": sim.channel_capacity,
+    }
+
+
+def _switches(sim: PartitionedSimulation) -> List[object]:
+    """Unique shared switch fabrics, in first-seen link order."""
+    seen: List[object] = []
+    for link in sim.links:
+        switch = getattr(link.transport, "switch", None)
+        if switch is not None and all(switch is not s for s in seen):
+            seen.append(switch)
+    return seen
+
+
+def capture_state(sim: PartitionedSimulation) -> dict:
+    """Snapshot ``sim`` into a JSON-serializable dict."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "topology": _topology(sim),
+        "partitions": {
+            name: {"busy_until": p.busy_until,
+                   "host": p.host.state_dict()}
+            for name, p in sim.partitions.items()
+        },
+        "links": [
+            {
+                "next_free": link.next_free,
+                "tokens": link.tokens,
+                "reliability": (link.reliability.state_dict()
+                                if link.reliability is not None else None),
+            }
+            for link in sim.links
+        ],
+        "switches": [
+            {"next_free": s.next_free, "tokens": s.tokens}
+            for s in _switches(sim)
+        ],
+        "arrivals": _encode_keyed(
+            {k: list(q) for k, q in sim._arrivals.items()}),
+        "consume_times": _encode_keyed(
+            {k: list(q) for k, q in sim._consume_times.items()}),
+        "consume_base": _encode_keyed(dict(sim._consume_base)),
+        "output_log": _encode_keyed(
+            {k: [dict(t) for t in tokens]
+             for k, tokens in sim.output_log.items()}),
+        "total_tokens": sim.total_tokens,
+        "dropped_tokens": sim.dropped_tokens,
+    }
+
+
+def restore_state(sim: PartitionedSimulation, state: dict) -> None:
+    """Load a :func:`capture_state` snapshot onto a freshly built,
+    structurally identical simulation."""
+    from collections import deque
+
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a partitioned-simulation checkpoint "
+            f"(format={state.get('format')!r})")
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {state.get('version')} unsupported "
+            f"(this build reads version {CHECKPOINT_VERSION})")
+    topology = _topology(sim)
+    if state["topology"] != topology:
+        raise CheckpointError(
+            "checkpoint topology does not match this simulation "
+            "(different partitions, channels, links, or capacity)")
+
+    for name, part_state in state["partitions"].items():
+        part = sim.partitions[name]
+        part.busy_until = part_state["busy_until"]
+        part.host.load_state_dict(part_state["host"])
+    for link, link_state in zip(sim.links, state["links"]):
+        link.next_free = link_state["next_free"]
+        link.tokens = link_state["tokens"]
+        saved_layer = link_state["reliability"]
+        if saved_layer is not None:
+            if link.reliability is None:
+                raise CheckpointError(
+                    f"checkpoint expects a reliable link layer on "
+                    f"{link.key}; harden the links before restoring")
+            link.reliability.load_state_dict(saved_layer)
+    switches = _switches(sim)
+    saved_switches = state["switches"]
+    if len(switches) != len(saved_switches):
+        raise CheckpointError(
+            f"checkpoint has {len(saved_switches)} switch fabrics, "
+            f"simulation has {len(switches)}")
+    for switch, sw_state in zip(switches, saved_switches):
+        switch.next_free = sw_state["next_free"]
+        switch.tokens = sw_state["tokens"]
+
+    sim._arrivals = {
+        key: deque(values)
+        for key, values in _decode_keyed(state["arrivals"]).items()
+    }
+    sim._consume_times = {
+        key: deque(values)
+        for key, values in _decode_keyed(state["consume_times"]).items()
+    }
+    sim._consume_base = dict(_decode_keyed(state["consume_base"]))
+    sim.output_log = {
+        key: [dict(t) for t in tokens]
+        for key, tokens in _decode_keyed(state["output_log"]).items()
+    }
+    sim.total_tokens = state["total_tokens"]
+    sim.dropped_tokens = state["dropped_tokens"]
+
+
+def save_checkpoint(sim: PartitionedSimulation,
+                    path: Union[str, Path]) -> Path:
+    """Capture ``sim`` and write it to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(capture_state(sim)))
+    tmp.replace(path)  # atomic: a crash mid-write never truncates
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Read and structurally validate a checkpoint file."""
+    try:
+        state = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+    if not isinstance(state, dict) \
+            or state.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a partitioned-simulation checkpoint")
+    return state
+
+
+def restore_checkpoint(sim: PartitionedSimulation,
+                       path: Union[str, Path]) -> None:
+    """Load ``path`` and restore it onto ``sim``."""
+    restore_state(sim, load_checkpoint(path))

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig11,
     fig13,
     fig14,
+    reliability,
     table1,
     table2,
 )
@@ -156,3 +157,21 @@ class TestFig9and10Summaries:
         results = fig10.run(duration_ms=120.0)
         text = fig10.format_table(results)
         assert "GOMAXPROCS=1" in text
+
+
+class TestReliabilityCurve:
+    def test_degradation_curve(self):
+        points = reliability.run(fault_rates=(0.0, 0.05, 0.2),
+                                 cycles=100)
+        assert all(p.bit_identical for p in points)
+        by_rate = {p.fault_rate: p for p in points}
+        assert by_rate[0.0].relative == 1.0
+        assert by_rate[0.2].relative < by_rate[0.0].relative
+        assert by_rate[0.2].retries > by_rate[0.05].retries
+        assert by_rate[0.2].drops_recovered > 0
+
+    def test_format(self):
+        text = reliability.format_table(
+            reliability.run(fault_rates=(0.0, 0.1), cycles=60))
+        assert "fault rate" in text and "identical" in text
+        assert "yes" in text and "NO" not in text

@@ -9,7 +9,7 @@ class TestSelection:
     def test_all_registered(self):
         expected = {"table1", "table2", "fig7", "fig8", "fig9", "fig10",
                     "fig11", "fig12", "fig13", "fig14",
-                    "casestudy_24core", "casestudy_gc40"}
+                    "casestudy_24core", "casestudy_gc40", "reliability"}
         assert set(EXPERIMENTS) == expected
 
     def test_prefix_matching(self):

@@ -96,6 +96,68 @@ class TestTimingOverlay:
         assert result.per_partition_cycles == {"base": 10, "fpga1": 10}
 
 
+class TestChannelCapacity:
+    """The credit-stall path: a sender with no remaining credit waits
+    for the receiver's consume timestamp before transmitting."""
+
+    def test_tighter_credit_never_faster(self):
+        walls = []
+        for capacity in (None, 4, 0):
+            result = _compile_pair(FAST).build_simulation(
+                QSFP_AURORA, channel_capacity=capacity).run(60)
+            walls.append(result.wall_ns)
+        assert walls[0] <= walls[1] <= walls[2]
+
+    def test_credit_stall_slows_but_stays_correct(self):
+        free = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=None, record_outputs=True)
+        free_result = free.run(60)
+        credited = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=0, record_outputs=True)
+        credited_result = credited.run(60)
+        assert credited.output_log == free.output_log
+        assert credited_result.target_cycles == \
+            free_result.target_cycles
+        assert credited_result.wall_ns >= free_result.wall_ns
+
+    def test_consume_queues_stay_bounded(self):
+        """The trim keeps credit bookkeeping O(in-flight), not O(run)."""
+        sim = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=0)
+        sim.run(300)
+        for queue in sim._consume_times.values():
+            assert len(queue) <= 8
+
+    def test_uncredited_run_records_no_consume_times(self):
+        sim = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=None)
+        sim.run(300)
+        assert sim._consume_times == {}
+
+    def test_source_fed_channels_not_recorded(self):
+        """Only link-fed channels are read back by the credit logic;
+        recording source-fed ones would grow without bound."""
+        host = LIBDNHost(
+            Simulator(make_circuit(make_rv_consumer(16), [])),
+            [ChannelSpec.make("in", [("in_valid", 1), ("in_bits", 16)])],
+            [ChannelSpec.make("out", [("in_ready", 1), ("sum", 32),
+                                      ("received", 32)], deps=["in"])],
+            name="p")
+        sim = PartitionedSimulation(
+            [Partition("p", host)], [],
+            sources={("p", "in"): ConstantSource(
+                {"in_valid": 0, "in_bits": 0})},
+            channel_capacity=0)
+        sim.run(200)
+        assert sim._consume_times == {}
+
+    def test_arrival_queues_stay_bounded(self):
+        sim = _compile_pair(FAST).build_simulation(QSFP_AURORA)
+        sim.run(300)
+        for queue in sim._arrivals.values():
+            assert len(queue) <= 8
+
+
 class TestDeadlockDetection:
     def test_aggregated_comb_boundary_deadlocks(self):
         """Fig. 2a wired through the harness: aggregated channels on a
@@ -123,6 +185,58 @@ class TestDeadlockDetection:
         with pytest.raises(DeadlockError) as err:
             sim.run(5)
         assert "waits on" in str(err.value)
+
+    def test_stuck_detail_names_every_unit_and_channel(self):
+        """The deadlock report carries each stuck unit's channel state:
+        which outputs wait on which inputs, and which inputs are empty
+        (the paper's actionable Fig. 2a diagnosis)."""
+        left = LIBDNHost(
+            Simulator(make_circuit(make_comb_left(), [])),
+            [ChannelSpec.make("in", [("a", WIDTH), ("e", WIDTH)])],
+            [ChannelSpec.make("out", [("d", WIDTH), ("s", WIDTH)],
+                              deps=["in"])],
+            name="left")
+        right = LIBDNHost(
+            Simulator(make_circuit(make_comb_right(), [])),
+            [ChannelSpec.make("in", [("c", WIDTH), ("f", WIDTH)])],
+            [ChannelSpec.make("out", [("q", WIDTH), ("ya", WIDTH)],
+                              deps=["in"])],
+            name="right")
+        links = [
+            Link(("L", "out"), ("R", "in"), QSFP_AURORA,
+                 rename={"d": "f", "s": "c"}),
+            Link(("R", "out"), ("L", "in"), QSFP_AURORA,
+                 rename={"q": "e", "ya": "a"}),
+        ]
+        sim = PartitionedSimulation(
+            [Partition("L", left), Partition("R", right)], links)
+        with pytest.raises(DeadlockError) as err:
+            sim.run(5)
+        detail = err.value.detail
+        assert "left@cycle0" in detail
+        assert "right@cycle0" in detail
+        assert "out waits on ['in']" in detail
+        assert "empty inputs ['in']" in detail
+        assert err.value.host_cycle == 1  # stalled on the first pass
+        # both stuck units are reported, ';;'-separated
+        assert detail.count(";;") == 1
+
+    def test_stuck_detail_empty_inputs_only(self):
+        """A host whose outputs all fired but whose inputs starve
+        reports only the empty input channels."""
+        host = LIBDNHost(
+            Simulator(make_circuit(make_rv_consumer(16), [])),
+            [ChannelSpec.make("in", [("in_valid", 1), ("in_bits", 16)])],
+            [ChannelSpec.make("out", [("in_ready", 1), ("sum", 32),
+                                      ("received", 32)], deps=["in"])],
+            name="starved")
+        host.deliver("in", {"in_valid": 0, "in_bits": 0})
+        host.host_step()  # consumes the only token, then starves
+        detail = host.stuck_detail()
+        assert detail.startswith("starved@cycle1:")
+        # the re-armed output FSM waits on the starved input channel
+        assert "out waits on ['in']" in detail
+        assert "empty inputs ['in']" in detail
 
     def test_seeding_prevents_the_deadlock(self):
         left = LIBDNHost(

@@ -1,0 +1,50 @@
+"""Builders shared by the reliability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fireripper import (
+    EXACT,
+    FAST,
+    FireRipper,
+    PartitionGroup,
+    PartitionSpec,
+)
+from repro.platform import QSFP_AURORA
+from repro.targets import make_comb_pair_circuit
+from repro.targets.soc import make_star_soc
+
+
+@pytest.fixture
+def pair_design():
+    """Two-FPGA comb pair in fast mode (single-unit partitions)."""
+    spec = PartitionSpec(mode=FAST, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    return FireRipper(spec).compile(make_comb_pair_circuit())
+
+
+@pytest.fixture
+def build_pair(pair_design):
+    def build():
+        return pair_design.build_simulation(
+            QSFP_AURORA, record_outputs=True)
+    return build
+
+
+@pytest.fixture
+def build_fame5():
+    """Star SoC with three tiles FAME-5 threaded onto one FPGA."""
+    circuit = make_star_soc(3, messages_per_tile=5)
+    groups = [PartitionGroup.make(f"g{i}", [f"tile{i}"])
+              for i in range(3)]
+    design = FireRipper(
+        PartitionSpec(mode=EXACT, groups=groups)).compile(circuit)
+
+    def build():
+        return design.build_simulation(
+            QSFP_AURORA,
+            host_freq_mhz={"base": 25.0, "tilefpga": 15.0},
+            fame5_merge={"tilefpga": [f"g{i}" for i in range(3)]},
+            channel_capacity=1, record_outputs=True)
+    return build

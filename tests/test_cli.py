@@ -59,6 +59,48 @@ class TestSimulate:
         assert "host_managed_pcie" in out
 
 
+class TestReliability:
+    def test_faulty_run_bit_identical_and_degraded(self, circuit_file,
+                                                   capsys):
+        rc = main(["reliability", circuit_file, "--extract", "right",
+                   "--mode", "fast", "--cycles", "120", "--seed", "3",
+                   "--drop-rate", "0.03", "--corrupt-rate", "0.02",
+                   "--flap", "40000:60000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "outputs bit-identical to fault-free run: yes" in out
+        assert "drops_recovered=" in out
+        assert "% of fault-free" in out
+
+    def test_crash_injection_rolls_back(self, circuit_file, capsys,
+                                        tmp_path):
+        rc = main(["reliability", circuit_file, "--extract", "right",
+                   "--mode", "fast", "--cycles", "100",
+                   "--checkpoint-every", "40", "--crash-at", "70",
+                   "--checkpoint-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rollbacks: 1" in out
+        assert "[crash@70]" in out
+        assert (tmp_path / "checkpoint-0.json").exists()
+
+    def test_unreliable_drops_deadlock(self, circuit_file, capsys):
+        rc = main(["reliability", circuit_file, "--extract", "right",
+                   "--mode", "fast", "--cycles", "100", "--seed", "2",
+                   "--drop-rate", "0.3", "--unreliable",
+                   "--max-rollbacks", "1"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "deadlock" in err
+
+    def test_bad_flap_spec_reports_error(self, circuit_file, capsys):
+        rc = main(["reliability", circuit_file, "--extract", "right",
+                   "--flap", "banana"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "START_NS:DURATION_NS" in err
+
+
 class TestAutoPartition:
     def test_prints_groups(self, circuit_file, capsys):
         rc = main(["autopartition", circuit_file, "--fpgas", "2"])
