@@ -11,6 +11,11 @@ scale, operating on circuit files in the textual IR format:
 * ``reliability`` — run a supervised, fault-injected co-simulation over
   reliable links; report the rate degradation versus a fault-free run
   and verify the delivered outputs stayed bit-identical,
+* ``trace``     — run with a recording tracer and export a Chrome
+  trace-event JSON (load it at https://ui.perfetto.dev); on deadlock,
+  print the postmortem and keep the partial trace,
+* ``profile``   — run and print the per-partition FMR breakdown,
+  link utilization and the dominant bottleneck,
 * ``autopartition`` — run the boundary search and print the resulting
   spec,
 * ``experiments`` — alias for ``python -m repro.experiments``.
@@ -29,7 +34,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .errors import ReproError
+from .errors import DeadlockError, ReproError
 from .fireripper import (
     EXACT,
     FireRipper,
@@ -44,6 +49,11 @@ from .platform import (
     PCIE_P2P,
     QSFP_AURORA,
     XILINX_U250,
+)
+from .observability import (
+    RecordingTracer,
+    export_chrome_trace,
+    format_profile,
 )
 from .reliability import (
     FaultSpec,
@@ -203,6 +213,45 @@ def cmd_reliability(args) -> int:
     return 0 if identical or args.unreliable else 1
 
 
+def cmd_trace(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    tracer = RecordingTracer(capacity=args.events)
+    sim = design.build_simulation(
+        TRANSPORTS[args.transport], host_freq_mhz=args.freq,
+        record_outputs=True, tracer=tracer)
+    try:
+        result = sim.run(args.cycles)
+    except DeadlockError as exc:
+        if exc.postmortem is not None:
+            print(exc.postmortem.to_text(), file=sys.stderr)
+        path = export_chrome_trace(tracer.events, args.out)
+        print(f"wrote partial trace to {path}", file=sys.stderr)
+        raise
+    path = export_chrome_trace(tracer.events, args.out)
+    print(f"simulated {result.target_cycles} target cycles at "
+          f"{result.rate_khz:.2f} kHz over "
+          f"{TRANSPORTS[args.transport].name}")
+    print(f"trace: kept {len(tracer.events)} of "
+          f"{tracer.total_emitted} events")
+    for kind, count in sorted(tracer.counts().items()):
+        print(f"  {kind:14s} {count}")
+    print(f"wrote {path} (open in https://ui.perfetto.dev or "
+          f"chrome://tracing)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    sim = design.build_simulation(
+        TRANSPORTS[args.transport], host_freq_mhz=args.freq)
+    result = sim.run(args.cycles)
+    print(f"transport: {TRANSPORTS[args.transport].name}")
+    print(format_profile(result))
+    return 0
+
+
 def cmd_autopartition(args) -> int:
     circuit = _load(args.circuit)
     result = auto_partition(circuit, n_fpgas=args.fpgas, mode=args.mode,
@@ -271,6 +320,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="skip the reliable link layer (faults then "
                             "corrupt results or deadlock the run)")
     p_rel.set_defaults(fn=cmd_reliability)
+
+    p_trace = subs.add_parser(
+        "trace",
+        help="run with a recording tracer, export Chrome trace JSON")
+    _add_common(p_trace)
+    p_trace.add_argument("--transport", choices=TRANSPORTS,
+                         default="qsfp")
+    p_trace.add_argument("--freq", type=float, default=30.0)
+    p_trace.add_argument("--cycles", type=int, default=200)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="trace-event JSON output path")
+    p_trace.add_argument("--events", type=int, default=None,
+                         metavar="N",
+                         help="ring-buffer capacity (default: keep all)")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_prof = subs.add_parser(
+        "profile",
+        help="run and print the FMR breakdown / bottleneck report")
+    _add_common(p_prof)
+    p_prof.add_argument("--transport", choices=TRANSPORTS,
+                        default="qsfp")
+    p_prof.add_argument("--freq", type=float, default=30.0)
+    p_prof.add_argument("--cycles", type=int, default=200)
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_auto = subs.add_parser("autopartition",
                              help="search for partition boundaries")

@@ -52,11 +52,17 @@ class DeadlockError(SimulationError):
     Attributes:
         host_cycle: host time at which progress stopped.
         detail: human-readable description of the stuck channels.
+        postmortem: structured
+            :class:`~repro.observability.postmortem.DeadlockPostmortem`
+            (full per-unit channel state plus the trailing trace-event
+            ring) when raised by the partitioned harness.
     """
 
-    def __init__(self, detail: str, host_cycle: Optional[int] = None):
+    def __init__(self, detail: str, host_cycle: Optional[int] = None,
+                 postmortem: Optional[object] = None):
         self.host_cycle = host_cycle
         self.detail = detail
+        self.postmortem = postmortem
         msg = f"LI-BDN deadlock: {detail}"
         if host_cycle is not None:
             msg += f" (host cycle {host_cycle})"

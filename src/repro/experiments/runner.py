@@ -6,7 +6,10 @@ Usage::
     python -m repro.experiments fig11 t2   # a subset (prefix matching)
 
 Results print to stdout in the same rows/series the paper reports;
-pass ``--out DIR`` to also write one ``.txt`` file per experiment.
+pass ``--out DIR`` to also write one ``.txt`` file per experiment, and
+``--profile`` to append a host-time profile (FMR component split and
+dominant bottleneck) per experiment, collected from every partitioned
+run the experiment performs.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..observability import profile_session
 from . import (
     casestudy_24core,
     casestudy_gc40,
@@ -72,6 +76,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="experiment name prefixes (default: all)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for per-experiment .txt outputs")
+    parser.add_argument("--profile", action="store_true",
+                        help="append a host-time profile (FMR component "
+                             "split, bottleneck) per experiment")
     args = parser.parse_args(argv)
 
     names = select(args.experiments)
@@ -85,7 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         start = time.time()
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        text = EXPERIMENTS[name]()
+        if args.profile:
+            with profile_session() as session:
+                text = EXPERIMENTS[name]()
+            text += "\n\n" + session.summary()
+        else:
+            text = EXPERIMENTS[name]()
         print(text)
         print(f"[{name}: {time.time() - start:.1f}s]")
         if args.out is not None:

@@ -66,7 +66,8 @@ class PartitionedDesign:
             record_outputs: bool = False,
             fame5_merge: Optional[Dict[str, Sequence[str]]] = None,
             advance_overhead_ns: float = 0.0,
-            channel_capacity: int = 0
+            channel_capacity: int = 0,
+            tracer=None
             ) -> PartitionedSimulation:
         """Instantiate the full co-simulation for this design.
 
@@ -82,6 +83,9 @@ class PartitionedDesign:
                 groups' LI-BDN hosts become threads ``t0..tN-1`` of one
                 partition, which then spends N host cycles per target
                 cycle while sharing combinational resources.
+            tracer: optional
+                :class:`~repro.observability.tracer.Tracer` threaded
+                through the harness, units and links (null by default).
         """
         fame5_merge = dict(fame5_merge or {})
         group_to_merged: Dict[str, Tuple[str, int]] = {}
@@ -150,7 +154,8 @@ class PartitionedDesign:
             partitions, links, sources=all_sources,
             seed_boundary=(self.spec.mode == FAST),
             record_outputs=record_outputs,
-            channel_capacity=channel_capacity)
+            channel_capacity=channel_capacity,
+            tracer=tracer)
 
 
 class FireRipper:

@@ -4,6 +4,7 @@ throughput model used for quick user feedback, and the software RTL
 simulator baseline the paper compares against.
 """
 
+from .hooks import LinkHooks, PartitionHooks
 from .metrics import SimulationResult, cycle_count_error_pct
 from .monolithic import MonolithicSimulation
 from .partitioned import (
@@ -22,6 +23,8 @@ __all__ = [
     "MonolithicSimulation",
     "Partition",
     "Link",
+    "LinkHooks",
+    "PartitionHooks",
     "PartitionedSimulation",
     "ConstantSource",
     "FunctionSource",

@@ -41,7 +41,11 @@ from ..errors import DeadlockError, SimulationError, TransportError
 from ..libdn.fame5 import FAME5Host
 from ..libdn.token import Token
 from ..libdn.wrapper import LIBDNHost
+from ..observability import profile as _profile
+from ..observability.postmortem import DeadlockPostmortem
+from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
 from ..platform.transport import TransportModel
+from .hooks import LinkHooks, PartitionHooks
 from .metrics import SimulationResult
 
 HostLike = Union[LIBDNHost, FAME5Host]
@@ -88,6 +92,8 @@ class Partition:
         #: (grows with ring size in multi-FPGA topologies, Fig. 13)
         self.advance_overhead_ns = advance_overhead_ns
         self.busy_until = 0.0
+        #: typed attachment points (tracer, FMR span accumulator)
+        self.hooks = PartitionHooks()
         if isinstance(host, FAME5Host):
             self.units: List[Tuple[str, LIBDNHost]] = [
                 (f"t{i}:", t) for i, t in enumerate(host.threads)
@@ -98,6 +104,12 @@ class Partition:
     @property
     def host_cycle_ns(self) -> float:
         return 1e3 / self.host_freq_mhz
+
+    @property
+    def spans(self):
+        """FMR span accumulator (see
+        :class:`~repro.observability.fmr.FMRSpans`)."""
+        return self.hooks.spans
 
     @property
     def target_cycle(self) -> int:
@@ -136,11 +148,14 @@ class Link:
     (used when a FAME-5 thread's channel ports are the bare module port
     names while the base side punched instance-prefixed names).
 
-    ``reliability`` optionally holds a
-    :class:`~repro.reliability.link.ReliableLinkLayer`; when set, every
-    token goes through CRC/sequence/ack-retry framing and injected
-    transport faults are recovered (at a timing cost) instead of
-    corrupting or deadlocking the simulation.
+    Optional behaviours (a
+    :class:`~repro.reliability.link.ReliableLinkLayer`, a transport
+    fault injector, a shared switch fabric, a tracer) live in the typed
+    ``hooks`` container; ``reliability`` is kept as a property for the
+    attach sites.  When a reliable layer is set, every token goes
+    through CRC/sequence/ack-retry framing and injected transport
+    faults are recovered (at a timing cost) instead of corrupting or
+    deadlocking the simulation.
     """
 
     src: Tuple[str, str]  # (partition name, output channel name)
@@ -149,7 +164,28 @@ class Link:
     rename: Optional[Dict[str, str]] = None
     next_free: float = 0.0
     tokens: int = 0
-    reliability: Optional[object] = None
+    #: accumulated occupied time (occupancy windows + retransmissions)
+    busy_ns: float = 0.0
+    #: receiver-side in-flight depth histogram: depth -> deliveries
+    depth_hist: Dict[int, int] = field(default_factory=dict)
+    hooks: LinkHooks = field(default_factory=LinkHooks)
+
+    def __post_init__(self) -> None:
+        self.refresh_transport_hooks()
+
+    def refresh_transport_hooks(self) -> None:
+        """Re-resolve transport-derived hooks (injector, switch); call
+        after swapping ``transport``."""
+        self.hooks.injector = getattr(self.transport, "injector", None)
+        self.hooks.switch = getattr(self.transport, "switch", None)
+
+    @property
+    def reliability(self):
+        return self.hooks.reliability
+
+    @reliability.setter
+    def reliability(self, layer) -> None:
+        self.hooks.reliability = layer
 
     @property
     def key(self) -> str:
@@ -169,12 +205,12 @@ class Link:
         to a fault injector when the transport carries one, and falls
         back to the ideal lossless wire otherwise.
         """
-        if self.reliability is not None:
-            return self.reliability.transmit(
+        hooks = self.hooks
+        if hooks.reliability is not None:
+            return hooks.reliability.transmit(
                 self, depart_ns, width_bits, token)
-        injector = getattr(self.transport, "injector", None)
-        if injector is not None:
-            return injector.raw_transmit(
+        if hooks.injector is not None:
+            return hooks.injector.raw_transmit(
                 self, depart_ns, width_bits, token)
         return TransmitResult(
             depart_ns + self.transport.wire_ns(width_bits), token, True)
@@ -188,7 +224,15 @@ class PartitionedSimulation:
                  sources: Optional[Dict[Tuple[str, str], TokenSource]] = None,
                  seed_boundary: bool = False,
                  record_outputs: bool = False,
-                 channel_capacity: int = 0):
+                 channel_capacity: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 postmortem_events: int = 64):
+        #: trace sink threaded through the harness, units and links;
+        #: the null default keeps every emit site a single flag check
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        #: how many trailing events a deadlock postmortem keeps
+        self.postmortem_events = postmortem_events
         self.partitions: Dict[str, Partition] = {}
         for p in partitions:
             if p.name in self.partitions:
@@ -221,10 +265,22 @@ class PartitionedSimulation:
         for link in self.links:
             self._dst_link_count[link.dst] = \
                 self._dst_link_count.get(link.dst, 0) + 1
+        self._install_tracer()
         self._validate(seed_boundary)
         self.total_tokens = 0
         self.dropped_tokens = 0
         self._steps = 0
+
+    def _install_tracer(self) -> None:
+        """Thread the trace sink through every partition, unit and
+        link; each unit's clock reads its partition's timing cursor."""
+        for link in self.links:
+            link.hooks.tracer = self.tracer
+        for part in self.partitions.values():
+            part.hooks.tracer = self.tracer
+            for _, unit in part.units:
+                unit.attach_tracer(self.tracer,
+                                   clock=(lambda p=part: p.busy_until))
 
     # -- setup ---------------------------------------------------------------
 
@@ -306,6 +362,7 @@ class PartitionedSimulation:
     def _process_unit(self, part: Partition, prefix: str,
                       unit: LIBDNHost) -> bool:
         progress = False
+        spans = part.hooks.spans
         fired = unit.try_fire_outputs()
         if fired:
             progress = True
@@ -315,7 +372,12 @@ class PartitionedSimulation:
             dep_arrival = max(
                 (self._head_arrival((part.name, prefix + d))
                  for d in spec.deps), default=0.0)
-            start = max(part.busy_until, dep_arrival)
+            # time the host idles before it can even look at this token:
+            # waiting for dependent inputs is link-wait, waiting for
+            # channel credit beyond that is a credit stall
+            dep_start = max(part.busy_until, dep_arrival)
+            spans.link_wait_ns += dep_start - part.busy_until
+            start = dep_start
             link = self._link_by_src.get((part.name, full))
             if link is not None and self.channel_capacity is not None:
                 consumed = self._consume_times.get(link.dst, deque())
@@ -338,6 +400,13 @@ class PartitionedSimulation:
                             consumed.popleft()
                         self._consume_base[link.dst] = \
                             self._consume_base.get(link.dst, 0) + drop
+            credit_wait = start - dep_start
+            spans.credit_stall_ns += credit_wait
+            if credit_wait and self._trace:
+                self.tracer.emit(TraceEvent(
+                    "credit_stall", ts_ns=dep_start, dur_ns=credit_wait,
+                    part=part.name, scope=full,
+                    args={"link": link.key, "tokens": link.tokens}))
             if link is None:
                 # external observation channel (a FireSim bridge tap):
                 # drained by wide DMA batches, effectively free
@@ -345,40 +414,65 @@ class PartitionedSimulation:
                 if self.record_outputs:
                     self.output_log.setdefault(
                         (part.name, full), []).append(token)
+                if self._trace:
+                    self.tracer.emit(TraceEvent(
+                        "bridge_output", ts_ns=start, part=part.name,
+                        scope=full, args={"cycle": unit.target_cycle}))
                 continue
             tx_ns = (link.transport.serdes_cycles(spec.width)
                      * part.host_cycle_ns)
+            spans.serdes_ns += tx_ns
             end = start + tx_ns
             part.busy_until = end
             depart = max(end, link.next_free)
             occupancy = (link.transport.per_token_overhead_ns
                          + spec.width / link.transport.bandwidth_gbps)
             link.next_free = depart + occupancy
-            switch = getattr(link.transport, "switch", None)
-            if switch is not None:
+            if link.hooks.switch is not None:
                 # switched Ethernet: contend on the shared backplane
-                depart = switch.traverse(depart, spec.width)
+                depart = link.hooks.switch.traverse(depart, spec.width)
             res = link.transmit(depart, spec.width, token)
             # retransmissions hold the link busy beyond the clean
             # occupancy window
             link.next_free += res.retry_delay_ns
+            link.busy_ns += occupancy + res.retry_delay_ns
+            if self._trace:
+                self.tracer.emit(TraceEvent(
+                    "token_tx", ts_ns=start, dur_ns=tx_ns,
+                    part=part.name, scope=full,
+                    args={"link": link.key, "width": spec.width,
+                          "serdes_ns": tx_ns,
+                          "wire_ns": link.transport.wire_ns(spec.width),
+                          "occupancy_ns": occupancy,
+                          "queue_wait_ns": depart - end,
+                          "retries": res.retries,
+                          "retry_delay_ns": res.retry_delay_ns}))
             if res.delivered:
                 dst_part = self.partitions[link.dst[0]]
                 rx_ns = (link.transport.serdes_cycles(spec.width)
                          * dst_part.host_cycle_ns)
                 self._deliver(link.dst, link.map_token(res.token),
                               res.arrive_ns + rx_ns)
+                depth = len(self._arrivals[link.dst])
+                link.depth_hist[depth] = \
+                    link.depth_hist.get(depth, 0) + 1
+                if self._trace:
+                    self.tracer.emit(TraceEvent(
+                        "token_rx", ts_ns=res.arrive_ns + rx_ns,
+                        part=link.dst[0], scope=link.dst[1],
+                        args={"link": link.key, "rx_serdes_ns": rx_ns,
+                              "depth": depth}))
             else:
                 self.dropped_tokens += 1
             link.tokens += 1
             self.total_tokens += 1
         if unit.can_advance():
             input_ready = 0.0
-            consume_stamp = max(part.busy_until, 0.0)
             for base in unit.in_channels:
                 arrival = self._pop_arrival((part.name, prefix + base))
                 input_ready = max(input_ready, arrival)
             start = max(part.busy_until, input_ready)
+            spans.link_wait_ns += start - part.busy_until
             if self.channel_capacity is not None:
                 for base in unit.in_channels:
                     key = (part.name, prefix + base)
@@ -388,6 +482,16 @@ class PartitionedSimulation:
                         self._consume_times.setdefault(
                             key, deque()).append(
                                 start + part.host_cycle_ns)
+            spans.compute_ns += part.host_cycle_ns
+            spans.sync_ns += part.advance_overhead_ns
+            if self._trace:
+                self.tracer.emit(TraceEvent(
+                    "target_cycle", ts_ns=start,
+                    dur_ns=(part.host_cycle_ns
+                            + part.advance_overhead_ns),
+                    part=part.name, scope=prefix + unit.name,
+                    args={"cycle": unit.target_cycle,
+                          "input_wait_ns": start - part.busy_until}))
             part.busy_until = (start + part.host_cycle_ns
                                + part.advance_overhead_ns)
             unit.advance()
@@ -416,10 +520,34 @@ class PartitionedSimulation:
                     unit.stuck_detail()
                     for p in self.partitions.values()
                     for _, unit in p.units)
-                raise DeadlockError(detail, host_cycle=passes)
+                if self._trace:
+                    self.tracer.emit(TraceEvent(
+                        "deadlock",
+                        ts_ns=max(p.busy_until
+                                  for p in self.partitions.values()),
+                        args={"host_passes": passes,
+                              "frontier": self.frontier_cycle()}))
+                raise DeadlockError(detail, host_cycle=passes,
+                                    postmortem=self._postmortem(passes))
             if passes > max_passes:
                 raise SimulationError("co-simulation pass budget exhausted")
         return self.result()
+
+    def _postmortem(self, passes: int) -> DeadlockPostmortem:
+        """Snapshot every unit's channel state plus the trailing event
+        ring for a deadlock report."""
+        channels: Dict[str, Dict[str, dict]] = {}
+        for name, part in self.partitions.items():
+            channels[name] = {
+                (prefix + unit.name if prefix else unit.name):
+                    unit.channel_state()
+                for prefix, unit in part.units
+            }
+        return DeadlockPostmortem(
+            host_passes=passes,
+            frontier_cycle=self.frontier_cycle(),
+            channels=channels,
+            events=self.tracer.recent(self.postmortem_events))
 
     def frontier_cycle(self) -> int:
         return min(p.target_cycle for p in self.partitions.values())
@@ -436,11 +564,26 @@ class PartitionedSimulation:
         # FireSim sits near 1; partitioned simulations pay the token
         # exchange (FireSim/FireAxe's key efficiency metric).
         fmr = {}
+        fmr_breakdown = {}
         for name, p in self.partitions.items():
             if p.target_cycle:
                 host_cycles = p.busy_until / p.host_cycle_ns
                 fmr[name] = host_cycles / p.target_cycle
-        detail: Dict[str, object] = {"fmr": fmr}
+                # the spans partition busy_until exactly, so the
+                # components sum to the partition's FMR
+                fmr_breakdown[name] = p.hooks.spans.breakdown(
+                    p.host_cycle_ns, p.target_cycle)
+        detail: Dict[str, object] = {"fmr": fmr,
+                                     "fmr_breakdown": fmr_breakdown}
+        if self.links:
+            detail["links"] = {
+                link.key: {
+                    "tokens": link.tokens,
+                    "utilization": min(1.0, link.busy_ns / wall_ns),
+                    "in_flight_hist": dict(link.depth_hist),
+                }
+                for link in self.links
+            }
         if self.dropped_tokens:
             detail["dropped_tokens"] = self.dropped_tokens
         link_stats = {
@@ -449,7 +592,7 @@ class PartitionedSimulation:
         }
         if link_stats:
             detail["reliability"] = link_stats
-        return SimulationResult(
+        result = SimulationResult(
             target_cycles=cycles,
             wall_ns=wall_ns,
             rate_hz=rate,
@@ -460,3 +603,5 @@ class PartitionedSimulation:
             },
             detail=detail,
         )
+        _profile.record_result(result)
+        return result

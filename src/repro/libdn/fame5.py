@@ -99,6 +99,24 @@ class FAME5Host:
                        for name, token in t.drain_outbox())
         return out
 
+    # -- observability ---------------------------------------------------------
+
+    def attach_tracer(self, tracer, clock=None) -> None:
+        """Install a trace sink on every thread (see
+        :meth:`~repro.libdn.wrapper.LIBDNHost.attach_tracer`)."""
+        for t in self.threads:
+            t.attach_tracer(tracer, clock)
+
+    def channel_state(self) -> dict:
+        """Per-thread channel snapshots, keyed ``t<i>`` (see
+        :meth:`~repro.libdn.wrapper.LIBDNHost.channel_state`)."""
+        return {
+            "threads": {
+                f"t{i}": t.channel_state()
+                for i, t in enumerate(self.threads)
+            }
+        }
+
     # -- scheduling ----------------------------------------------------------------
 
     def host_step(self) -> bool:

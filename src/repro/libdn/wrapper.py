@@ -19,9 +19,10 @@ combinational logic make forward progress (Fig. 2b).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
 from ..rtl.engine import Simulator
 from .token import Channel, ChannelSpec, Token, zeros_token
 
@@ -57,7 +58,20 @@ class LIBDNHost:
         #: tokens produced this host step, drained by the harness
         self.outbox: List[Tuple[str, Token]] = []
         self.target_cycle = 0
+        #: trace sink for fire/advance events (null by default); the
+        #: owning harness installs its tracer plus a clock reading the
+        #: partition's timing cursor
+        self.tracer: Tracer = NULL_TRACER
+        self.trace_clock: Callable[[], float] = lambda: 0.0
         self._validate_ports()
+
+    def attach_tracer(self, tracer: Tracer,
+                      clock: Optional[Callable[[], float]] = None) -> None:
+        """Install a trace sink (and optionally a host-time clock) for
+        this unit's ``channel_fire``/``advance`` events."""
+        self.tracer = tracer
+        if clock is not None:
+            self.trace_clock = clock
 
     def _validate_ports(self) -> None:
         sim_inputs = dict(self.sim.elab.inputs)
@@ -118,6 +132,11 @@ class LIBDNHost:
             self.outbox.append((name, token))
             self._fired[name] = True
             fired_now.append(name)
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    "channel_fire", ts_ns=self.trace_clock(),
+                    part=self.name, scope=name,
+                    args={"cycle": self.target_cycle}))
         return fired_now
 
     def can_advance(self) -> bool:
@@ -144,6 +163,10 @@ class LIBDNHost:
             if ch.has_token():
                 ch.get()
         self.target_cycle += 1
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                "advance", ts_ns=self.trace_clock(), part=self.name,
+                args={"cycle": self.target_cycle}))
 
     def host_step(self) -> bool:
         """One host iteration: fire what can fire, advance if possible.
@@ -197,6 +220,28 @@ class LIBDNHost:
         self.outbox = [(name, dict(token))
                        for name, token in state["outbox"]]
         self.target_cycle = state["target_cycle"]
+
+    def channel_state(self) -> dict:
+        """Structured channel snapshot for postmortems: per input the
+        pending-token depth, per output the fired flag plus the input
+        channels it still waits on."""
+        return {
+            "target_cycle": self.target_cycle,
+            "inputs": {
+                name: {"pending": len(ch.queue)}
+                for name, ch in sorted(self.in_channels.items())
+            },
+            "outputs": {
+                name: {
+                    "fired": self._fired[name],
+                    "waiting_on": sorted(
+                        d for d in ch.spec.deps
+                        if not self.in_channels[d].has_token()
+                    ) if not self._fired[name] else [],
+                }
+                for name, ch in sorted(self.out_channels.items())
+            },
+        }
 
     def stuck_detail(self) -> str:
         """Describe why the host cannot progress (for deadlock reports)."""

@@ -1,0 +1,58 @@
+"""Observability layer: structured trace, FMR breakdown, postmortems.
+
+FireAxe's performance story (Sec. VI-A, Figs. 11-14) is entirely about
+*where host time goes* — (de)serialization, wire latency, credit
+stalls, token-exchange slack.  This package is the instrumentation that
+makes those visible in the reproduction:
+
+* :mod:`~repro.observability.tracer` — a low-overhead structured event
+  protocol (null by default) threaded through the harness, the LI-BDN
+  hosts, the reliable link layer and the run supervisor,
+* :mod:`~repro.observability.fmr` — per-partition FMR breakdown
+  accounting (compute / serdes / link-wait / credit-stall / sync) that
+  sums exactly to each partition's reported FMR,
+* :mod:`~repro.observability.chrome_trace` — Chrome trace-event JSON
+  export, loadable in https://ui.perfetto.dev,
+* :mod:`~repro.observability.postmortem` — deadlock postmortems: full
+  channel state plus the trailing event ring on ``DeadlockError``,
+* :mod:`~repro.observability.profile` — profile reports and the
+  ambient session behind ``python -m repro.experiments --profile``.
+"""
+
+from .chrome_trace import export_chrome_trace, to_chrome_trace
+from .fmr import FMR_COMPONENTS, FMRSpans
+from .postmortem import DeadlockPostmortem
+from .profile import (
+    ProfileSession,
+    dominant_component,
+    format_profile,
+    profile_session,
+    record_result,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TeeTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "TeeTracer",
+    "TraceEvent",
+    "FMRSpans",
+    "FMR_COMPONENTS",
+    "DeadlockPostmortem",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "ProfileSession",
+    "profile_session",
+    "record_result",
+    "format_profile",
+    "dominant_component",
+]

@@ -1,0 +1,86 @@
+"""Chrome trace-event (Perfetto-loadable) export.
+
+Converts a stream of :class:`~repro.observability.tracer.TraceEvent`
+records into the Chrome ``traceEvents`` JSON format, which
+https://ui.perfetto.dev (and chrome://tracing) open directly:
+
+* every partition becomes a *process* (named via ``process_name``
+  metadata), every unit/link/channel scope within it a *thread*,
+* span events (``dur_ns > 0``) become complete events (``"ph": "X"``),
+  instant events become ``"ph": "i"``,
+* ``token_rx`` events carrying a ``depth`` argument also emit a counter
+  track (``"ph": "C"``) showing the receiver-side in-flight token depth
+  per destination channel.
+
+Timestamps are the timing overlay's modelled host time, exported in
+microseconds as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .tracer import TraceEvent
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Build the Chrome trace dict for ``events``."""
+    pid_of: Dict[str, int] = {}
+    tid_of: Dict[Tuple[str, str], int] = {}
+    out: List[dict] = []
+
+    def pid(part: str) -> int:
+        name = part or "global"
+        if name not in pid_of:
+            pid_of[name] = len(pid_of) + 1
+            out.append({"ph": "M", "name": "process_name",
+                        "pid": pid_of[name], "tid": 0,
+                        "args": {"name": name}})
+        return pid_of[name]
+
+    def tid(part: str, scope: str) -> int:
+        key = (part or "global", scope or "events")
+        if key not in tid_of:
+            tid_of[key] = len(tid_of) + 1
+            out.append({"ph": "M", "name": "thread_name",
+                        "pid": pid(part), "tid": tid_of[key],
+                        "args": {"name": key[1]}})
+        return tid_of[key]
+
+    for event in events:
+        record = {
+            "name": event.kind,
+            "cat": event.kind,
+            "ts": event.ts_ns / 1e3,
+            "pid": pid(event.part),
+            "tid": tid(event.part, event.scope),
+            "args": dict(event.args),
+        }
+        if event.dur_ns > 0:
+            record["ph"] = "X"
+            record["dur"] = event.dur_ns / 1e3
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        out.append(record)
+        if event.kind == "token_rx" and "depth" in event.args:
+            out.append({
+                "ph": "C",
+                "name": f"in-flight {event.scope}",
+                "ts": event.ts_ns / 1e3,
+                "pid": pid(event.part),
+                "tid": 0,
+                "args": {"tokens": event.args["depth"]},
+            })
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def export_chrome_trace(events: Iterable[TraceEvent],
+                        path: Union[str, Path]) -> Path:
+    """Write ``events`` to ``path`` as Chrome trace JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events)))
+    return path

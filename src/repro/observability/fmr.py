@@ -1,0 +1,76 @@
+"""Per-partition FMR breakdown accounting.
+
+FMR (FPGA-cycle-to-Model-cycle Ratio) is FireSim/FireAxe's efficiency
+metric: host cycles spent per simulated target cycle.  The partitioned
+harness advances each partition's ``busy_until`` cursor through exactly
+four kinds of work plus one kind of configured slack, and it attributes
+every nanosecond of that cursor to one :class:`FMRSpans` bucket:
+
+* ``compute_ns`` — the one host cycle per LI-BDN unit advance (the work
+  a monolithic FireSim simulation would also do),
+* ``serdes_ns`` — transmit-side token (de)serialization,
+* ``link_wait_ns`` — waiting for dependent input tokens to arrive
+  (wire latency, receive-side deserialization, and upstream slowness all
+  surface here),
+* ``credit_stall_ns`` — waiting for channel credit when the receiver
+  has not yet consumed earlier tokens (``channel_capacity``),
+* ``sync_ns`` — the configured per-advance token-exchange slack
+  (``advance_overhead_ns``, Fig. 13's ring-size term).
+
+The buckets partition the cursor exactly, so
+``sum(components) == busy_until`` and the per-component FMR values in
+``SimulationResult.detail["fmr_breakdown"]`` sum to the partition's
+reported FMR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: component order used everywhere the breakdown is rendered
+FMR_COMPONENTS: Tuple[str, ...] = (
+    "compute", "serdes", "link_wait", "credit_stall", "sync",
+)
+
+
+@dataclass
+class FMRSpans:
+    """Accumulated host-time (ns) per FMR component for one partition."""
+
+    compute_ns: float = 0.0
+    serdes_ns: float = 0.0
+    link_wait_ns: float = 0.0
+    credit_stall_ns: float = 0.0
+    sync_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return (self.compute_ns + self.serdes_ns + self.link_wait_ns
+                + self.credit_stall_ns + self.sync_ns)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute": self.compute_ns,
+            "serdes": self.serdes_ns,
+            "link_wait": self.link_wait_ns,
+            "credit_stall": self.credit_stall_ns,
+            "sync": self.sync_ns,
+        }
+
+    def breakdown(self, host_cycle_ns: float,
+                  target_cycles: int) -> Dict[str, float]:
+        """Per-component FMR: host cycles per target cycle, summing to
+        the partition's overall FMR."""
+        if target_cycles <= 0:
+            return {name: 0.0 for name in FMR_COMPONENTS}
+        scale = 1.0 / (host_cycle_ns * target_cycles)
+        return {name: ns * scale
+                for name, ns in self.as_dict().items()}
+
+    def reset(self) -> None:
+        self.compute_ns = 0.0
+        self.serdes_ns = 0.0
+        self.link_wait_ns = 0.0
+        self.credit_stall_ns = 0.0
+        self.sync_ns = 0.0

@@ -1,0 +1,76 @@
+"""Deadlock postmortem: what every channel looked like when tokens
+stopped moving, plus the trailing event history.
+
+Raised LI-BDN deadlocks (the paper's Fig. 2a failure mode) carry one of
+these on ``DeadlockError.postmortem``.  The channel snapshot is always
+present; the event ring holds whatever the run's tracer retained — a
+:class:`~repro.observability.tracer.RecordingTracer` (bounded or not)
+gives the last-N history, the default null tracer gives an empty ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .tracer import TraceEvent
+
+
+@dataclass
+class DeadlockPostmortem:
+    """Structured state of a deadlocked partitioned simulation.
+
+    Attributes:
+        host_passes: harness passes completed when progress stopped.
+        frontier_cycle: the stuck simulation frontier (min target cycle).
+        channels: ``partition -> unit -> channel state`` as captured by
+            :meth:`~repro.libdn.wrapper.LIBDNHost.channel_state`: per
+            input channel the pending-token depth, per output channel
+            the fired flag and the input channels it still waits on.
+        events: trailing ring of trace events (most recent last).
+    """
+
+    host_passes: int
+    frontier_cycle: int
+    channels: Dict[str, Dict[str, dict]] = field(default_factory=dict)
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def stuck_channels(self) -> List[str]:
+        """``part/unit/channel`` names of every starving input."""
+        out: List[str] = []
+        for part, units in sorted(self.channels.items()):
+            for unit, state in sorted(units.items()):
+                for chan, info in sorted(state["inputs"].items()):
+                    if info["pending"] == 0:
+                        out.append(f"{part}/{unit}/{chan}")
+        return out
+
+    def to_text(self) -> str:
+        """Human-readable report (the CLI prints this on deadlock)."""
+        lines = [
+            f"deadlock postmortem: frontier stuck at target cycle "
+            f"{self.frontier_cycle} after {self.host_passes} host "
+            f"pass(es)",
+        ]
+        for part, units in sorted(self.channels.items()):
+            for unit, state in sorted(units.items()):
+                lines.append(f"  {part}/{unit} @ target cycle "
+                             f"{state['target_cycle']}:")
+                for chan, info in sorted(state["inputs"].items()):
+                    lines.append(
+                        f"    in  {chan}: {info['pending']} pending "
+                        f"token(s)")
+                for chan, info in sorted(state["outputs"].items()):
+                    status = ("fired" if info["fired"] else
+                              f"waits on {info['waiting_on']}")
+                    lines.append(f"    out {chan}: {status}")
+        if self.events:
+            lines.append(f"  last {len(self.events)} event(s):")
+            for event in self.events:
+                lines.append(
+                    f"    [{event.ts_ns:12.1f} ns] {event.kind} "
+                    f"{event.part}/{event.scope} {event.args}")
+        else:
+            lines.append("  (no event history: run with a recording "
+                         "tracer to capture one)")
+        return "\n".join(lines)

@@ -5,8 +5,9 @@ partitioned run:
 
 * per-unit LI-BDN state — simulator signals/memories/cycle, channel
   queues, fire-FSM flags, outbox — for plain and FAME-5 hosts alike,
-* the timing overlay — per-partition ``busy_until`` cursors, per-link
-  ``next_free``/``tokens``, shared switch backplane cursors,
+* the timing overlay — per-partition ``busy_until`` cursors and FMR
+  span accumulators, per-link ``next_free``/``tokens``/occupancy
+  stats, shared switch backplane cursors,
 * the harness queues — pending arrival times, credit consume times (and
   their trim bases), token counters, the recorded output log,
 * reliable-link layer state (sequence numbers, stats) when attached.
@@ -64,7 +65,7 @@ def _switches(sim: PartitionedSimulation) -> List[object]:
     """Unique shared switch fabrics, in first-seen link order."""
     seen: List[object] = []
     for link in sim.links:
-        switch = getattr(link.transport, "switch", None)
+        switch = link.hooks.switch
         if switch is not None and all(switch is not s for s in seen):
             seen.append(switch)
     return seen
@@ -78,6 +79,7 @@ def capture_state(sim: PartitionedSimulation) -> dict:
         "topology": _topology(sim),
         "partitions": {
             name: {"busy_until": p.busy_until,
+                   "spans": p.hooks.spans.as_dict(),
                    "host": p.host.state_dict()}
             for name, p in sim.partitions.items()
         },
@@ -85,6 +87,10 @@ def capture_state(sim: PartitionedSimulation) -> dict:
             {
                 "next_free": link.next_free,
                 "tokens": link.tokens,
+                "busy_ns": link.busy_ns,
+                "depth_hist": {str(depth): count
+                               for depth, count
+                               in link.depth_hist.items()},
                 "reliability": (link.reliability.state_dict()
                                 if link.reliability is not None else None),
             }
@@ -130,9 +136,20 @@ def restore_state(sim: PartitionedSimulation, state: dict) -> None:
         part = sim.partitions[name]
         part.busy_until = part_state["busy_until"]
         part.host.load_state_dict(part_state["host"])
+        spans = part.hooks.spans
+        spans.reset()
+        # older captures predate span accounting; a missing entry
+        # restores as all-zero spans (breakdown then undercounts)
+        for component, ns in part_state.get("spans", {}).items():
+            setattr(spans, f"{component}_ns", ns)
     for link, link_state in zip(sim.links, state["links"]):
         link.next_free = link_state["next_free"]
         link.tokens = link_state["tokens"]
+        link.busy_ns = link_state.get("busy_ns", 0.0)
+        link.depth_hist = {
+            int(depth): count
+            for depth, count in link_state.get("depth_hist", {}).items()
+        }
         saved_layer = link_state["reliability"]
         if saved_layer is not None:
             if link.reliability is None:

@@ -22,6 +22,7 @@ from typing import Optional
 from ..errors import LinkGiveUpError, TransportError
 from ..harness.partitioned import Link, PartitionedSimulation, TransmitResult
 from ..libdn.token import Token
+from ..observability.tracer import TraceEvent
 from .faults import (
     AttemptOutcome,
     FaultInjector,
@@ -83,8 +84,8 @@ class ReliableLinkLayer:
         throws at it (up to ``max_retries``), accumulating the retry
         delay into the returned timing."""
         cfg = self.config
-        injector: Optional[FaultInjector] = getattr(
-            link.transport, "injector", None)
+        injector: Optional[FaultInjector] = link.hooks.injector
+        tracer = link.hooks.tracer
         crc = token_crc(token)
         seq = self.tx_seq
         attempt = 0
@@ -111,6 +112,7 @@ class ReliableLinkLayer:
                                       retry_delay_ns=retry_delay)
             if out.link_down_until is not None:
                 self.stats["flap_stalls"] += 1
+                reason = "flap"
                 # the sender keeps timing out until the link is back up
                 next_try = max(out.link_down_until,
                                now + self._retry_wait_ns(attempt))
@@ -123,11 +125,19 @@ class ReliableLinkLayer:
                     raise TransportError(
                         f"link {link.key}: undetected corruption")
                 self.stats["crc_rejects"] += 1
+                reason = "crc_reject"
                 next_try = now + self._retry_wait_ns(attempt)
             else:  # dropped
                 self.stats["drops_recovered"] += 1
+                reason = "drop"
                 next_try = now + self._retry_wait_ns(attempt)
             self.stats["retries"] += 1
+            if tracer.enabled:
+                tracer.emit(TraceEvent(
+                    "link_retry", ts_ns=now, dur_ns=next_try - now,
+                    part=link.src[0], scope=link.key,
+                    args={"reason": reason, "seq": seq,
+                          "attempt": attempt}))
             attempt += 1
             if attempt > cfg.max_retries:
                 raise LinkGiveUpError(link.key, seq, attempt)
@@ -151,6 +161,7 @@ def inject_faults(sim: PartitionedSimulation, spec: FaultSpec) -> None:
     injector = FaultInjector(spec)
     for link in sim.links:
         link.transport = FaultyTransport(link.transport, injector)
+        link.refresh_transport_hooks()
 
 
 def harden_links(sim: PartitionedSimulation,

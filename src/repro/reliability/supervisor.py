@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..errors import SimulationError
 from ..harness.metrics import SimulationResult
 from ..harness.partitioned import PartitionedSimulation
+from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
 from .checkpoint import capture_state, restore_state, save_checkpoint
 
 
@@ -81,13 +82,18 @@ class RunSupervisor:
             re-raises the underlying failure.
         crash_at_cycles: target cycles at which to inject a one-shot
             host crash (each fires once, then is consumed).
+        tracer: optional
+            :class:`~repro.observability.tracer.Tracer` receiving the
+            supervisor's heartbeat/checkpoint/rollback events (this is
+            separate from any tracer the built simulation carries).
     """
 
     def __init__(self, build: Callable[[], PartitionedSimulation],
                  checkpoint_every: int = 100,
                  checkpoint_dir: Optional[Union[str, Path]] = None,
                  max_rollbacks: int = 3,
-                 crash_at_cycles: Sequence[int] = ()):
+                 crash_at_cycles: Sequence[int] = (),
+                 tracer: Optional[Tracer] = None):
         if checkpoint_every <= 0:
             raise SimulationError("checkpoint_every must be positive")
         self.build = build
@@ -96,6 +102,16 @@ class RunSupervisor:
                                if checkpoint_dir is not None else None)
         self.max_rollbacks = max_rollbacks
         self._pending_crashes = sorted(crash_at_cycles)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _emit(self, kind: str, sim: PartitionedSimulation,
+              **args) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                kind,
+                ts_ns=max(p.busy_until for p in sim.partitions.values()),
+                scope="supervisor",
+                args={"cycle": sim.frontier_cycle(), **args}))
 
     # -- internals ------------------------------------------------------------
 
@@ -113,6 +129,8 @@ class RunSupervisor:
         report.checkpoints += 1
         report.events.append(SupervisorEvent("checkpoint", cycle))
         report.heartbeats.append(self._heartbeat(sim))
+        self._emit("checkpoint", sim)
+        self._emit("heartbeat", sim, progress=self._heartbeat(sim))
         return state
 
     def _segment_stop(self, crash_cycle: Optional[int]):
@@ -154,6 +172,7 @@ class RunSupervisor:
                         else "stall")
                 report.events.append(SupervisorEvent(
                     kind, sim.frontier_cycle(), str(exc)))
+                self._emit(kind, sim, error=str(exc))
                 if isinstance(exc, InjectedCrash):
                     # the crash happened; don't re-fire it on replay
                     self._pending_crashes.pop(0)
@@ -166,6 +185,7 @@ class RunSupervisor:
                 report.events.append(SupervisorEvent(
                     "rollback", sim.frontier_cycle(),
                     f"restored checkpoint after {kind}"))
+                self._emit("rollback", sim, after=kind)
                 continue
             last_state = self._take_checkpoint(sim, report)
             rollbacks = 0  # only *consecutive* failures count as fatal

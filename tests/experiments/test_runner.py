@@ -27,3 +27,21 @@ class TestSelection:
         assert rc == 0
         text = (tmp_path / "table1.txt").read_text()
         assert "Issue width" in text
+
+
+class TestProfileFlag:
+    def test_profile_appends_host_time_summary(self, tmp_path, capsys):
+        rc = main(["table2", "--profile", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[profile]" in out
+        assert "partitioned run(s)" in out
+        assert "bottleneck:" in out
+        # the summary also lands in the written artifact
+        assert "[profile]" in (tmp_path / "table2.txt").read_text()
+
+    def test_without_flag_no_summary(self, capsys):
+        rc = main(["table2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[profile]" not in out

@@ -158,6 +158,53 @@ class TestChannelCapacity:
             assert len(queue) <= 8
 
 
+class TestRunEdgePaths:
+    def test_record_outputs_logs_bridge_taps(self):
+        """External output channels (bridge taps) land in the output
+        log, one token per simulated cycle, only when asked for."""
+        sim = _compile_pair().build_simulation(
+            QSFP_AURORA, record_outputs=True)
+        sim.run(12)
+        log = sim.output_log[("base", "io_out")]
+        assert len(log) == 12
+        assert all(isinstance(t, dict) and t for t in log)
+
+    def test_outputs_not_recorded_by_default(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        sim.run(12)
+        assert sim.output_log == {}
+
+    def test_max_passes_exhaustion_raises(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        with pytest.raises(SimulationError, match="pass budget"):
+            sim.run(40, max_passes=1)
+
+    def test_max_passes_error_is_not_a_deadlock(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        with pytest.raises(SimulationError) as err:
+            sim.run(40, max_passes=1)
+        assert not isinstance(err.value, DeadlockError)
+
+    def test_stop_callback_early_exit_partial_result(self):
+        sim = _compile_pair().build_simulation(
+            QSFP_AURORA, record_outputs=True)
+        result = sim.run(50, stop=lambda s: s.frontier_cycle() >= 5)
+        assert result.target_cycles == 5
+        assert result.per_partition_cycles == {"base": 5, "fpga1": 5}
+        # the partial result is internally consistent
+        assert result.wall_ns > 0
+        assert len(sim.output_log[("base", "io_out")]) >= 5
+        fmr = result.detail["fmr"]
+        for part, components in result.detail["fmr_breakdown"].items():
+            assert sum(components.values()) == pytest.approx(fmr[part])
+
+    def test_stop_checked_before_any_work(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        result = sim.run(50, stop=lambda s: True)
+        assert result.target_cycles == 0
+        assert result.tokens_transferred == 0
+
+
 class TestDeadlockDetection:
     def test_aggregated_comb_boundary_deadlocks(self):
         """Fig. 2a wired through the harness: aggregated channels on a

@@ -1,0 +1,101 @@
+"""FMR breakdown: components always account for every host nanosecond."""
+
+import pytest
+
+from repro.fireripper import EXACT, FAST, FireRipper, PartitionGroup, PartitionSpec
+from repro.observability import FMR_COMPONENTS, FMRSpans
+from repro.platform import PCIE_P2P, QSFP_AURORA
+from repro.targets import make_comb_pair_circuit
+
+
+def _compile_pair(mode=EXACT):
+    spec = PartitionSpec(mode=mode, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    return FireRipper(spec).compile(make_comb_pair_circuit())
+
+
+class TestFMRSpans:
+    def test_breakdown_sums_to_total(self):
+        spans = FMRSpans(compute_ns=100.0, serdes_ns=40.0,
+                         link_wait_ns=300.0, credit_stall_ns=60.0,
+                         sync_ns=12.0)
+        breakdown = spans.breakdown(host_cycle_ns=10.0, target_cycles=4)
+        assert sum(breakdown.values()) == pytest.approx(
+            spans.total_ns / (10.0 * 4))
+
+    def test_zero_cycles_all_zero(self):
+        spans = FMRSpans(compute_ns=50.0)
+        assert spans.breakdown(10.0, 0) == {
+            name: 0.0 for name in FMR_COMPONENTS}
+
+    def test_reset(self):
+        spans = FMRSpans(compute_ns=5.0, sync_ns=1.0)
+        spans.reset()
+        assert spans.total_ns == 0.0
+
+
+class TestBreakdownInResult:
+    @pytest.mark.parametrize("mode,transport", [
+        (EXACT, QSFP_AURORA),
+        (FAST, QSFP_AURORA),
+        (FAST, PCIE_P2P),
+    ])
+    def test_components_sum_to_partition_fmr(self, mode, transport):
+        """The acceptance criterion: per-partition breakdown components
+        sum to that partition's FMR (spans partition busy_until)."""
+        sim = _compile_pair(mode).build_simulation(transport)
+        result = sim.run(40)
+        fmr = result.detail["fmr"]
+        breakdown = result.detail["fmr_breakdown"]
+        assert set(breakdown) == set(fmr)
+        for part, components in breakdown.items():
+            assert set(components) == set(FMR_COMPONENTS)
+            assert sum(components.values()) == pytest.approx(
+                fmr[part], rel=1e-9), part
+
+    def test_spans_cover_busy_until_exactly(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        sim.run(25)
+        for part in sim.partitions.values():
+            assert part.spans.total_ns == pytest.approx(part.busy_until)
+
+    def test_credit_stall_component_appears_under_backpressure(self):
+        free = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=None).run(60)
+        tight = _compile_pair(FAST).build_simulation(
+            QSFP_AURORA, channel_capacity=0).run(60)
+        free_stall = sum(c["credit_stall"]
+                         for c in free.detail["fmr_breakdown"].values())
+        tight_stall = sum(c["credit_stall"]
+                          for c in tight.detail["fmr_breakdown"].values())
+        assert free_stall == 0.0
+        assert tight_stall > 0.0
+
+    def test_sync_component_tracks_advance_overhead(self):
+        sim = _compile_pair().build_simulation(
+            QSFP_AURORA, advance_overhead_ns=500.0)
+        result = sim.run(20)
+        for part, components in result.detail["fmr_breakdown"].items():
+            host_cycle = sim.partitions[part].host_cycle_ns
+            assert components["sync"] == pytest.approx(500.0 / host_cycle)
+
+
+class TestLinkStats:
+    def test_link_detail_reported(self):
+        sim = _compile_pair().build_simulation(QSFP_AURORA)
+        result = sim.run(30)
+        links = result.detail["links"]
+        assert len(links) == len(sim.links)
+        for key, stats in links.items():
+            assert stats["tokens"] > 0
+            assert 0.0 <= stats["utilization"] <= 1.0
+            # every delivered token lands in exactly one histogram bucket
+            assert sum(stats["in_flight_hist"].values()) == \
+                stats["tokens"]
+
+    def test_histograms_survive_long_runs(self):
+        sim = _compile_pair(FAST).build_simulation(QSFP_AURORA)
+        result = sim.run(200)
+        for stats in result.detail["links"].values():
+            assert sum(stats["in_flight_hist"].values()) == \
+                stats["tokens"]

@@ -1,0 +1,75 @@
+"""Profile reports and the ambient profile session."""
+
+import pytest
+
+from repro.fireripper import EXACT, FAST, FireRipper, PartitionGroup, PartitionSpec
+from repro.observability import (
+    ProfileSession,
+    dominant_component,
+    format_profile,
+    profile_session,
+    record_result,
+)
+from repro.platform import QSFP_AURORA
+from repro.targets import make_comb_pair_circuit
+
+
+def _run(mode=EXACT, cycles=30, **kwargs):
+    spec = PartitionSpec(mode=mode, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    design = FireRipper(spec).compile(make_comb_pair_circuit())
+    return design.build_simulation(QSFP_AURORA, **kwargs).run(cycles)
+
+
+class TestAmbientSession:
+    def test_results_flow_into_active_session(self):
+        with profile_session() as session:
+            _run()
+        assert len(session.results) == 1
+        assert session.results[0].target_cycles == 30
+
+    def test_no_session_is_a_noop(self):
+        result = _run()  # must not blow up with no session active
+        record_result(result)  # explicit call is also a no-op
+        assert result.target_cycles == 30
+
+    def test_sessions_nest_and_restore(self):
+        with profile_session() as outer:
+            _run()
+            with profile_session() as inner:
+                _run()
+            _run()
+        assert len(inner.results) == 1
+        assert len(outer.results) == 2
+
+    def test_summary_percentages(self):
+        with profile_session() as session:
+            _run()
+        summary = session.summary()
+        assert "1 partitioned run(s)" in summary
+        assert "bottleneck:" in summary
+        totals = session.component_totals()
+        assert sum(totals.values()) > 0
+
+    def test_empty_session_summary(self):
+        assert "no partitioned runs" in ProfileSession().summary()
+
+
+class TestReport:
+    def test_format_profile_renders_breakdown_and_links(self):
+        result = _run()
+        text = format_profile(result)
+        assert "FMR breakdown" in text
+        assert "base" in text and "fpga1" in text
+        assert "links:" in text
+        assert "bottleneck:" in text
+
+    def test_dominant_component_is_an_overhead(self):
+        """The pair design is latency-bound over QSFP, so link waiting
+        (never raw compute) must dominate."""
+        assert dominant_component(_run()) == "link_wait"
+
+    def test_dominant_component_without_breakdown(self):
+        result = _run()
+        result.detail = {}
+        assert dominant_component(result) == "none"

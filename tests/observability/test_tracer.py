@@ -1,0 +1,85 @@
+"""Tracer sinks: null, recording (ring), tee."""
+
+from repro.observability import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TeeTracer,
+    TraceEvent,
+)
+
+
+def _ev(i):
+    return TraceEvent("advance", ts_ns=float(i), part="p", scope="u",
+                      args={"i": i})
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_recent_is_empty(self):
+        assert NULL_TRACER.recent(10) == []
+
+
+class TestRecordingTracer:
+    def test_keeps_everything_without_capacity(self):
+        t = RecordingTracer()
+        for i in range(100):
+            t.emit(_ev(i))
+        assert len(t) == 100
+        assert t.total_emitted == 100
+        assert t.events[0].args["i"] == 0
+
+    def test_ring_drops_oldest(self):
+        t = RecordingTracer(capacity=8)
+        for i in range(20):
+            t.emit(_ev(i))
+        assert len(t) == 8
+        assert t.total_emitted == 20
+        assert [e.args["i"] for e in t.events] == list(range(12, 20))
+
+    def test_recent_returns_tail(self):
+        t = RecordingTracer()
+        for i in range(10):
+            t.emit(_ev(i))
+        assert [e.args["i"] for e in t.recent(3)] == [7, 8, 9]
+        assert t.recent(0) == []
+        assert len(t.recent(99)) == 10
+
+    def test_of_kind_and_counts(self):
+        t = RecordingTracer()
+        t.emit(TraceEvent("token_tx", 0.0))
+        t.emit(TraceEvent("token_rx", 1.0))
+        t.emit(TraceEvent("token_tx", 2.0))
+        assert len(t.of_kind("token_tx")) == 2
+        assert t.counts() == {"token_tx": 2, "token_rx": 1}
+
+    def test_clear(self):
+        t = RecordingTracer()
+        t.emit(_ev(0))
+        t.clear()
+        assert len(t) == 0
+        assert t.total_emitted == 0
+
+
+class TestTeeTracer:
+    def test_fans_out_to_enabled_sinks(self):
+        a, b = RecordingTracer(), RecordingTracer(capacity=1)
+        tee = TeeTracer([a, b])
+        assert tee.enabled
+        for i in range(3):
+            tee.emit(_ev(i))
+        assert len(a) == 3
+        assert len(b) == 1
+
+    def test_disabled_when_all_sinks_null(self):
+        tee = TeeTracer([NullTracer(), NULL_TRACER])
+        assert tee.enabled is False
+
+    def test_recent_uses_first_nonempty_sink(self):
+        a, b = RecordingTracer(), RecordingTracer()
+        tee = TeeTracer([a, b])
+        tee.emit(_ev(1))
+        assert [e.args["i"] for e in tee.recent(5)] == [1]

@@ -87,6 +87,37 @@ class TestCrashRecovery:
         assert "42" in str(exc)
 
 
+class TestSupervisorTracing:
+    def test_checkpoints_and_heartbeats_emit_events(self, build_pair):
+        from repro.observability import RecordingTracer
+
+        tracer = RecordingTracer()
+        RunSupervisor(build_pair, checkpoint_every=40,
+                      tracer=tracer).run(120)
+        counts = tracer.counts()
+        assert counts["checkpoint"] == counts["heartbeat"]
+        assert counts["checkpoint"] >= 4  # initial + one per segment
+        for event in tracer.events:
+            assert event.scope == "supervisor"
+            assert "cycle" in event.args
+
+    def test_crash_and_rollback_emit_events(self, build_pair):
+        from repro.observability import RecordingTracer
+
+        tracer = RecordingTracer()
+        RunSupervisor(build_pair, checkpoint_every=40,
+                      crash_at_cycles=[75], tracer=tracer).run(120)
+        crashes = tracer.of_kind("crash")
+        rollbacks = tracer.of_kind("rollback")
+        assert len(crashes) == 1 and len(rollbacks) == 1
+        assert "injected crash" in crashes[0].args["error"]
+        assert rollbacks[0].args["after"] == "crash"
+
+    def test_untraced_supervisor_emits_nothing(self, build_pair):
+        report = RunSupervisor(build_pair, checkpoint_every=40).run(80)
+        assert report.checkpoints >= 2  # ran fine with the null tracer
+
+
 class TestStallEscalation:
     def test_persistent_deadlock_gives_up_after_max_rollbacks(
             self, build_pair):

@@ -101,6 +101,45 @@ class TestReliability:
         assert "START_NS:DURATION_NS" in err
 
 
+class TestTrace:
+    def test_exports_chrome_trace_json(self, circuit_file, tmp_path,
+                                       capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", circuit_file, "--extract", "right",
+                   "--cycles", "25", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "simulated 25 target cycles" in stdout
+        assert "token_tx" in stdout
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        kinds = {r["name"] for r in trace["traceEvents"]}
+        assert {"token_tx", "token_rx", "target_cycle"} <= kinds
+
+    def test_ring_capacity_bounds_kept_events(self, circuit_file,
+                                              tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", circuit_file, "--extract", "right",
+                   "--cycles", "25", "--events", "10",
+                   "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "kept 10 of" in stdout
+
+
+class TestProfile:
+    def test_prints_breakdown_and_bottleneck(self, circuit_file, capsys):
+        rc = main(["profile", circuit_file, "--extract", "right",
+                   "--cycles", "25"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FMR breakdown" in out
+        assert "link_wait" in out
+        assert "bottleneck:" in out
+
+
 class TestAutoPartition:
     def test_prints_groups(self, circuit_file, capsys):
         rc = main(["autopartition", circuit_file, "--fpgas", "2"])
