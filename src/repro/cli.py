@@ -7,7 +7,9 @@ scale, operating on circuit files in the textual IR format:
   interface/resource/performance feedback,
 * ``partition`` — write the per-FPGA partition circuits to files,
 * ``simulate``  — run the partitioned co-simulation and report the
-  achieved rate (optionally until an output signal asserts),
+  achieved rate (optionally until an output signal asserts);
+  ``--backend process`` runs each partition in its own OS worker
+  process (results are bit-identical to the in-process loop),
 * ``reliability`` — run a supervised, fault-injected co-simulation over
   reliable links; report the rate degradation versus a fault-free run
   and verify the delivered outputs stayed bit-identical,
@@ -128,9 +130,10 @@ def cmd_simulate(args) -> int:
             log = s.output_log.get(("base", "io_out"), [])
             return bool(log) and log[-1].get(signal, 0) == 1
 
-    result = sim.run(args.cycles, stop=stop)
+    result = sim.run(args.cycles, stop=stop, backend=args.backend)
     print(f"simulated {result.target_cycles} target cycles "
-          f"in {result.wall_ns / 1e3:.1f} us of host time")
+          f"in {result.wall_ns / 1e3:.1f} us of host time "
+          f"[{sim.last_run_backend} backend]")
     print(f"rate: {result.rate_mhz:.3f} MHz over "
           f"{TRANSPORTS[args.transport].name}")
     print(f"tokens transferred: {result.tokens_transferred}")
@@ -252,6 +255,11 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_experiments(args) -> int:
+    from .experiments.runner import main as experiments_main
+    return experiments_main(args.rest)
+
+
 def cmd_autopartition(args) -> int:
     circuit = _load(args.circuit)
     result = auto_partition(circuit, n_fpgas=args.fpgas, mode=args.mode,
@@ -289,6 +297,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sim.add_argument("--cycles", type=int, default=1000)
     p_sim.add_argument("--until", metavar="SIGNAL",
                        help="stop when this base output reads 1")
+    p_sim.add_argument("--backend",
+                       choices=["auto", "inproc", "process"],
+                       default="auto",
+                       help="execution engine: 'process' runs one OS "
+                            "worker per partition (default: auto, "
+                            "honouring REPRO_BACKEND)")
     p_sim.set_defaults(fn=cmd_simulate)
 
     p_rel = subs.add_parser(
@@ -345,6 +359,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prof.add_argument("--freq", type=float, default=30.0)
     p_prof.add_argument("--cycles", type=int, default=200)
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_exp = subs.add_parser(
+        "experiments",
+        help="regenerate the paper's tables/figures "
+             "(alias for python -m repro.experiments; supports "
+             "--jobs N for parallel experiments)")
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="arguments for repro.experiments "
+                            "(names, --out, --profile, --jobs)")
+    p_exp.set_defaults(fn=cmd_experiments)
 
     p_auto = subs.add_parser("autopartition",
                              help="search for partition boundaries")

@@ -69,6 +69,39 @@ class DeadlockError(SimulationError):
         super().__init__(msg)
 
 
+class WorkerError(SimulationError):
+    """A distributed-backend worker process failed (died, hung, or
+    raised) and the run could not complete.
+
+    Raised by the process backend's coordinator after it has terminated
+    and reaped every remaining child, so a worker failure never leaves
+    orphaned processes or a hung parent.
+
+    Attributes:
+        partition: name of the partition whose worker failed first
+            (secondary casualties — workers that exited because a peer
+            vanished — are not blamed).
+        reason: short machine-readable cause (``died``, ``raised``,
+            ``heartbeat-timeout``, ...).
+    """
+
+    def __init__(self, partition: str, reason: str, message: str):
+        self.partition = partition
+        self.reason = reason
+        super().__init__(
+            f"worker {partition!r} {reason}: {message}")
+
+
+class BackendUnavailableError(SimulationError):
+    """The requested execution backend cannot run on this host (e.g.
+    the process backend on a platform without ``fork``)."""
+
+
+class UnsupportedTopologyError(SimulationError):
+    """The simulation's structure cannot be distributed (e.g. a switch
+    fabric shared by links of different source partitions)."""
+
+
 class CompileError(ReproError):
     """FireRipper rejected the partition specification."""
 

@@ -6,10 +6,13 @@ Usage::
     python -m repro.experiments fig11 t2   # a subset (prefix matching)
 
 Results print to stdout in the same rows/series the paper reports;
-pass ``--out DIR`` to also write one ``.txt`` file per experiment, and
+pass ``--out DIR`` to also write one ``.txt`` file per experiment,
 ``--profile`` to append a host-time profile (FMR component split and
 dominant bottleneck) per experiment, collected from every partitioned
-run the experiment performs.
+run the experiment performs, and ``--jobs N`` to run independent
+experiments in up to ``N`` forked worker processes (``--profile``
+forces sequential execution: the profile session aggregates in-process
+state that cannot cross a fork).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..observability import profile_session
+from ..parallel import fanout
 from . import (
     casestudy_24core,
     casestudy_gc40,
@@ -79,6 +83,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="append a host-time profile (FMR component "
                              "split, bottleneck) per experiment")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="run up to N experiments concurrently in "
+                             "forked workers (default: 1; ignored with "
+                             "--profile)")
     args = parser.parse_args(argv)
 
     names = select(args.experiments)
@@ -89,17 +97,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    for name in names:
+    jobs = 1 if args.profile else args.jobs
+
+    def run_one(name: str) -> Tuple[str, float]:
         start = time.time()
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         if args.profile:
             with profile_session() as session:
                 text = EXPERIMENTS[name]()
             text += "\n\n" + session.summary()
         else:
             text = EXPERIMENTS[name]()
+        return text, time.time() - start
+
+    if jobs > 1:
+        outputs = fanout([lambda n=name: run_one(n) for name in names],
+                         jobs, labels=names)
+    else:
+        outputs = None
+
+    for i, name in enumerate(names):
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        text, seconds = outputs[i] if outputs is not None \
+            else run_one(name)
         print(text)
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        print(f"[{name}: {seconds:.1f}s]")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(text + "\n")
     return 0

@@ -265,6 +265,12 @@ class PartitionedSimulation:
         for link in self.links:
             self._dst_link_count[link.dst] = \
                 self._dst_link_count.get(link.dst, 0) + 1
+        #: when set (by the process backend's worker loop), remote token
+        #: deliveries and consume-time records are routed through it
+        #: instead of mutating peer-partition state directly
+        self.router = None
+        #: backend that executed the last ``run`` ("inproc" / "process")
+        self.last_run_backend: Optional[str] = None
         self._install_tracer()
         self._validate(seed_boundary)
         self.total_tokens = 0
@@ -348,6 +354,50 @@ class PartitionedSimulation:
                 if source is not None and not channel.has_token():
                     token = source.next_token(unit.target_cycle)
                     self._deliver(key, token, 0.0)
+
+    def _deliver_link(self, link: Link, spec, res: TransmitResult) -> None:
+        """Land one delivered token at a link's destination channel.
+
+        Receive-side deserialization is priced at the destination's host
+        clock; the in-flight depth histogram counts the receiver's queue
+        right after the token lands.  When a router is installed (process
+        backend) and the destination partition lives in another worker,
+        the mapped token is handed to the router instead — the receiving
+        worker performs the exact same accounting on its side.
+        """
+        dst_part = self.partitions[link.dst[0]]
+        rx_ns = (link.transport.serdes_cycles(spec.width)
+                 * dst_part.host_cycle_ns)
+        arrive_ns = res.arrive_ns + rx_ns
+        if self.router is not None \
+                and not self.router.is_local(link.dst[0]):
+            self.router.deliver_remote(
+                link, link.map_token(res.token), arrive_ns, rx_ns)
+            return
+        self.apply_link_delivery(link, link.map_token(res.token),
+                                 arrive_ns, rx_ns)
+
+    def apply_link_delivery(self, link: Link, token: Token,
+                            arrive_ns: float, rx_ns: float) -> None:
+        """Receiver-side half of a link transfer: enqueue the token and
+        account the in-flight depth (also called by the process backend
+        when applying a peer worker's effect frame)."""
+        self._deliver(link.dst, token, arrive_ns)
+        depth = len(self._arrivals[link.dst])
+        link.depth_hist[depth] = link.depth_hist.get(depth, 0) + 1
+        if self._trace:
+            self.tracer.emit(TraceEvent(
+                "token_rx", ts_ns=arrive_ns,
+                part=link.dst[0], scope=link.dst[1],
+                args={"link": link.key, "rx_serdes_ns": rx_ns,
+                      "depth": depth}))
+
+    def _record_consume(self, key: Tuple[str, str], ns: float) -> None:
+        """Record the consume time of a link-fed input channel (credit
+        return); mirrored to remote feeder workers by the router."""
+        self._consume_times.setdefault(key, deque()).append(ns)
+        if self.router is not None:
+            self.router.consumed(key, ns)
 
     def _head_arrival(self, key: Tuple[str, str]) -> float:
         queue = self._arrivals.get(key)
@@ -448,20 +498,7 @@ class PartitionedSimulation:
                           "retries": res.retries,
                           "retry_delay_ns": res.retry_delay_ns}))
             if res.delivered:
-                dst_part = self.partitions[link.dst[0]]
-                rx_ns = (link.transport.serdes_cycles(spec.width)
-                         * dst_part.host_cycle_ns)
-                self._deliver(link.dst, link.map_token(res.token),
-                              res.arrive_ns + rx_ns)
-                depth = len(self._arrivals[link.dst])
-                link.depth_hist[depth] = \
-                    link.depth_hist.get(depth, 0) + 1
-                if self._trace:
-                    self.tracer.emit(TraceEvent(
-                        "token_rx", ts_ns=res.arrive_ns + rx_ns,
-                        part=link.dst[0], scope=link.dst[1],
-                        args={"link": link.key, "rx_serdes_ns": rx_ns,
-                              "depth": depth}))
+                self._deliver_link(link, spec, res)
             else:
                 self.dropped_tokens += 1
             link.tokens += 1
@@ -479,9 +516,8 @@ class PartitionedSimulation:
                     # only link-fed channels are read back by the credit
                     # logic; recording source-fed ones would grow forever
                     if key in self._dst_link_count:
-                        self._consume_times.setdefault(
-                            key, deque()).append(
-                                start + part.host_cycle_ns)
+                        self._record_consume(
+                            key, start + part.host_cycle_ns)
             spans.compute_ns += part.host_cycle_ns
             spans.sync_ns += part.advance_overhead_ns
             if self._trace:
@@ -500,9 +536,37 @@ class PartitionedSimulation:
 
     def run(self, target_cycles: int,
             stop: Optional[Callable[["PartitionedSimulation"], bool]] = None,
-            max_passes: int = 50_000_000) -> SimulationResult:
+            max_passes: int = 50_000_000,
+            backend: str = "auto") -> SimulationResult:
         """Run until every partition reaches ``target_cycles`` (or ``stop``
-        returns True); raises :class:`DeadlockError` if progress halts."""
+        returns True); raises :class:`DeadlockError` if progress halts.
+
+        ``backend`` selects the execution engine: ``"auto"`` honours the
+        ``REPRO_BACKEND`` environment variable (``process`` runs each
+        partition in its own OS worker process when the simulation is
+        distributable and no ``stop`` callback is given — results are
+        bit-identical either way); ``"process"`` demands the
+        distributed backend (raising
+        :class:`~repro.errors.BackendUnavailableError` /
+        :class:`~repro.errors.UnsupportedTopologyError` when it cannot
+        run); ``"inproc"`` forces the cooperative single-process loop.
+        """
+        if backend in ("process", "proc"):
+            if stop is not None:
+                raise SimulationError(
+                    "the process backend does not support stop "
+                    "callbacks (they would need to observe every "
+                    "worker's state every pass); use backend='inproc'")
+            from ..parallel import ProcessBackend
+            return ProcessBackend().run(self, target_cycles,
+                                        max_passes=max_passes)
+        if backend == "auto" and stop is None:
+            from ..parallel import auto_backend
+            chosen = auto_backend(self)
+            if chosen is not None:
+                return chosen.run(self, target_cycles,
+                                  max_passes=max_passes)
+        self.last_run_backend = "inproc"
         passes = 0
         while self.frontier_cycle() < target_cycles:
             if stop is not None and stop(self):

@@ -1,0 +1,34 @@
+"""Distributed execution: one OS process per partition, real channels.
+
+FireAxe's premise is that partitions run *concurrently* on separate
+FPGAs; this package gives the reproduction the same shape in software.
+Each partition's LI-BDN host runs in its own forked worker process
+(``worker``), cross-partition tokens travel as batched effect frames
+over pipes with credit-based flow control (``channels``), a coordinator
+spawns/supervises the workers and merges their state fragments back
+into the parent simulation (``coordinator``), and an experiment-level
+pool fans independent sweep points across bounded jobs (``pool``).
+
+The backend is *bit-deterministic*: ``SimulationResult.detail`` (and
+all merged simulation state that feeds checkpoints) is identical to the
+in-process harness — see DESIGN.md for the wavefront schedule that
+makes this true by construction.  Select it per-call
+(``sim.run(..., backend=...)`` via :func:`ProcessBackend.run`), or
+globally with ``REPRO_BACKEND=process``.
+"""
+
+from .coordinator import (ProcessBackend, auto_backend,
+                          fork_available, unsupported_reason)
+from .channels import EffectFrame, FrameConduit, FrameInbox
+from .pool import fanout
+
+__all__ = [
+    "ProcessBackend",
+    "auto_backend",
+    "fork_available",
+    "unsupported_reason",
+    "EffectFrame",
+    "FrameConduit",
+    "FrameInbox",
+    "fanout",
+]

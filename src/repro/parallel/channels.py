@@ -1,0 +1,149 @@
+"""Inter-worker message layer for the process backend.
+
+Workers exchange *effect frames*: one frame per (sender, pass) carrying
+every cross-partition side effect that sender's pass produced for one
+peer — token deliveries (with their modelled arrival times) and
+consume-time records (the credit returns the peer's senders price their
+credit stalls with).  Frames are the unit of ordering; bytes-on-the-wire
+are batched:
+
+* a :class:`FrameConduit` buffers outgoing frames and flushes them in
+  one pickled message every ``flush_interval`` passes (or sooner, when
+  the worker is about to block — a blocked worker always flushes first,
+  which keeps the wavefront live),
+* credit-based flow control bounds run-ahead: a sender may have at most
+  ``window`` un-acknowledged passes outstanding per peer; receivers
+  acknowledge the highest pass they have *applied* (piggybacked on
+  their own frames, or standalone when the reverse direction is quiet).
+
+The frame schedule — which pass of which peer a worker must apply
+before its own pass ``k`` — lives in the worker loop; this module only
+moves and accounts frames.
+
+Control-plane messages (worker <-> coordinator) are plain tuples whose
+first element names the kind; see the module docstrings of
+``worker``/``coordinator`` for the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: (link index, dst key, token, arrival ns, rx serdes ns)
+Delivery = Tuple[int, Tuple[str, str], dict, float, float]
+#: (dst key, consume-time ns)
+Credit = Tuple[Tuple[str, str], float]
+
+
+@dataclass
+class EffectFrame:
+    """Every cross-partition effect of one sender pass, for one peer."""
+
+    sender: str
+    pass_no: int
+    deliveries: List[Delivery] = field(default_factory=list)
+    credits: List[Credit] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.deliveries and not self.credits
+
+
+class FrameConduit:
+    """Outgoing half of one worker->peer frame stream.
+
+    Owns the batching buffer and the flow-control window.  ``push`` is
+    called once per pass; ``flush`` serializes the buffered frames into
+    a single ``("frames", [...], ack)`` message.  ``ack`` piggybacks the
+    highest peer pass this worker has applied (maintained by the inbox),
+    so steady-state traffic needs no standalone acknowledgements.
+    """
+
+    def __init__(self, conn, peer: str,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None):
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+        self.conn = conn
+        self.peer = peer
+        self.flush_interval = flush_interval
+        self.window = window if window is not None \
+            else max(2 * flush_interval, 4)
+        self.buffer: List[EffectFrame] = []
+        #: highest own pass the peer has acknowledged applying
+        self.acked_through = 0
+        #: highest own pass pushed (buffered or sent)
+        self.pushed_through = 0
+        #: hook: returns the ack to piggyback (applied-through for peer)
+        self.ack_source = lambda: 0
+        #: messages actually written (for the batching benchmark)
+        self.messages_sent = 0
+        #: individual effects (deliveries + credits) those messages
+        #: carried — per-token messaging would pay one message each
+        self.effects_sent = 0
+
+    def window_open(self, pass_no: int) -> bool:
+        """May a frame for ``pass_no`` enter flight without waiting?"""
+        return pass_no - self.acked_through <= self.window
+
+    def push(self, frame: EffectFrame) -> None:
+        """Buffer one pass frame; flushes on a full batch.  The caller
+        must have confirmed :meth:`window_open` (blocking and draining
+        acknowledgements first if it was not)."""
+        self.buffer.append(frame)
+        self.pushed_through = frame.pass_no
+        self.effects_sent += len(frame.deliveries) + len(frame.credits)
+        if len(self.buffer) >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.buffer:
+            return
+        self.conn.send(("frames", self.buffer, self.ack_source()))
+        self.messages_sent += 1
+        self.buffer = []
+
+    def note_ack(self, through_pass: int) -> None:
+        if through_pass > self.acked_through:
+            self.acked_through = through_pass
+
+
+class FrameInbox:
+    """Incoming half of one peer->worker frame stream.
+
+    Holds frames keyed by pass number until the worker's schedule asks
+    for them, and decides when a standalone acknowledgement is owed
+    (the reverse conduit may be idle — e.g. a finished worker serving
+    frames to a still-running peer).
+    """
+
+    def __init__(self, peer: str, ack_every: int = 8):
+        self.peer = peer
+        self.pending: Dict[int, EffectFrame] = {}
+        self.applied_through = 0
+        self.ack_every = max(1, ack_every)
+        self._last_ack_sent = 0
+
+    def offer(self, frames: List[EffectFrame]) -> None:
+        for frame in frames:
+            self.pending[frame.pass_no] = frame
+
+    def has(self, pass_no: int) -> bool:
+        return pass_no in self.pending
+
+    def take(self, pass_no: int) -> EffectFrame:
+        frame = self.pending.pop(pass_no)
+        if frame.pass_no > self.applied_through:
+            self.applied_through = frame.pass_no
+        return frame
+
+    def standalone_ack_due(self) -> Optional[int]:
+        """Pass number to acknowledge out-of-band, or None."""
+        if self.applied_through - self._last_ack_sent >= self.ack_every:
+            return self.applied_through
+        return None
+
+    def note_ack_sent(self, through_pass: int) -> None:
+        if through_pass > self._last_ack_sent:
+            self._last_ack_sent = through_pass

@@ -1,0 +1,528 @@
+"""Worker process: owns one partition of a forked co-simulation.
+
+Each worker executes the *same* per-partition work the in-process
+harness's round-robin would have executed, in the same order, seeing the
+same tokens — which is what makes the process backend's results
+bit-identical.  The scheduling rule that guarantees this ("wavefront
+order"): before running its own pass ``k``, a worker applies the effect
+frame of
+
+* pass ``k-1`` from every linked peer that comes *after* it in the
+  global partition order, then
+* pass ``k`` from every linked peer that comes *before* it,
+
+each group in ascending partition order.  That reproduces exactly the
+order in which the serial round-robin interleaves cross-partition token
+deliveries and consume-time (credit) records with this partition's own
+processing, while leaving the expensive part — evaluating the
+partition's RTL and pricing its timing overlay — to run concurrently
+across workers.  The dependency graph of (pass, partition) points is
+acyclic, so the wavefront can never deadlock on itself; a worker that
+must block first flushes every buffered outgoing frame, keeping peers
+fed.
+
+A finished worker (its partition reached the target cycle) keeps
+cycling *service passes*: it emits empty frames so slower peers can keep
+advancing, paced by the flow-control window, until the coordinator
+broadcasts a stop.  Service passes perform no simulation work and
+mutate no state, so the final merged state is deterministic.
+
+Control protocol (worker -> coordinator, over the control pipe):
+
+``("progress", name, [(pass, frontier, progressed), ...])``
+    batched per-pass progress; flushed on no-progress passes so the
+    coordinator can detect global deadlock quickly.
+``("heartbeat", name, pass, frontier)``
+    emitted while blocked, so a hung peer is distinguishable from a
+    hung self.
+``("done", fragment)``  — final state fragment, after a stop.
+``("postmortem", payload)`` — stuck-channel snapshot, after a deadlock
+    abort.
+``("failed", name, exc_type, message)`` — local failure.
+
+Coordinator -> worker: ``("stop",)`` and ``("abort", reason)``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..observability.tracer import RecordingTracer
+from .channels import EffectFrame, FrameConduit, FrameInbox
+
+#: set in forked children so backend auto-selection never recurses
+IN_WORKER = False
+
+
+class _Stop(Exception):
+    """Coordinator broadcast a clean stop (all partitions done)."""
+
+
+class _Abort(Exception):
+    """Coordinator broadcast an abort (deadlock / crash / failure)."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class Router:
+    """The harness's remote-effect sink while running inside a worker.
+
+    Installed as ``sim.router``; the partitioned harness consults it in
+    ``_deliver_link`` (token bound for a peer partition) and
+    ``_record_consume`` (credit return for a channel fed by a peer's
+    link).  Effects accumulate into one :class:`EffectFrame` per linked
+    peer per pass.
+    """
+
+    def __init__(self, sim, me: str):
+        self.me = me
+        self._link_index = {id(link): i for i, link in
+                            enumerate(sim.links)}
+        #: dst channel key -> partitions owning a link that feeds it
+        self.dst_feeders: Dict[Tuple[str, str], List[str]] = {}
+        for link in sim.links:
+            feeders = self.dst_feeders.setdefault(link.dst, [])
+            if link.src[0] not in feeders:
+                feeders.append(link.src[0])
+        linked = ({l.dst[0] for l in sim.links if l.src[0] == me} |
+                  {l.src[0] for l in sim.links if l.dst[0] == me})
+        self.peers = sorted(linked - {me})
+        self.out: Dict[str, EffectFrame] = {}
+
+    def begin_pass(self, pass_no: int) -> None:
+        self.out = {peer: EffectFrame(self.me, pass_no)
+                    for peer in self.peers}
+
+    def is_local(self, partition: str) -> bool:
+        return partition == self.me
+
+    def deliver_remote(self, link, token, arrive_ns: float,
+                       rx_ns: float) -> None:
+        self.out[link.dst[0]].deliveries.append(
+            (self._link_index[id(link)], link.dst, token,
+             arrive_ns, rx_ns))
+
+    def consumed(self, key: Tuple[str, str], ns: float) -> None:
+        for feeder in self.dst_feeders.get(key, ()):
+            if feeder != self.me:
+                self.out[feeder].credits.append((key, ns))
+
+
+class PartitionWorker:
+    """Drives one partition to ``target_cycles`` inside its process."""
+
+    def __init__(self, sim, name: str, order: Dict[str, int],
+                 target_cycles: int, max_passes: int,
+                 data_conns: Dict[str, tuple], ctl_recv, ctl_send,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None,
+                 heartbeat_s: float = 5.0,
+                 die: Optional[Tuple[str, int]] = None):
+        self.sim = sim
+        self.name = name
+        self.part = sim.partitions[name]
+        self.order = order
+        self.target_cycles = target_cycles
+        self.max_passes = max_passes
+        self.ctl_recv = ctl_recv
+        self.ctl_send = ctl_send
+        self.flush_interval = flush_interval
+        self.heartbeat_s = heartbeat_s
+        self.die = die
+        self.pass_no = 0
+
+        self.router = Router(sim, name)
+        sim.router = self.router
+        self.peers = self.router.peers
+        me_idx = order[name]
+        by_order = sorted(self.peers, key=order.__getitem__)
+        self.peers_before = [p for p in by_order if order[p] < me_idx]
+        self.peers_after = [p for p in by_order if order[p] > me_idx]
+
+        self.conduits: Dict[str, FrameConduit] = {}
+        self.inboxes: Dict[str, FrameInbox] = {}
+        self._conn_peer = {}
+        self._wait_conns = [ctl_recv]
+        for peer in self.peers:
+            recv_conn, send_conn = data_conns[peer]
+            conduit = FrameConduit(send_conn, peer,
+                                   flush_interval=flush_interval,
+                                   window=window)
+            conduit.ack_source = (lambda p=peer: self._take_ack(p))
+            self.conduits[peer] = conduit
+            self.inboxes[peer] = FrameInbox(
+                peer, ack_every=max(1, flush_interval // 2))
+            self._conn_peer[recv_conn] = peer
+            self._wait_conns.append(recv_conn)
+
+        #: pass number fence from the coordinator's stop broadcast:
+        #: run the wavefront through this pass, then finalize (ensures
+        #: every peer's effect-bearing frame has been applied)
+        self._stop_fence: Optional[int] = None
+        self._abort_reason: Optional[str] = None
+        self._dead_peers = set()
+        self._reports: List[Tuple[int, int, bool]] = []
+        self._reported_reached = False
+        self._tokens0 = sim.total_tokens
+        self._dropped0 = sim.dropped_tokens
+
+        # a recording parent tracer is swapped for a fresh one so the
+        # fragment ships only the events this run produced
+        self._tracer: Optional[RecordingTracer] = None
+        if sim.tracer.enabled:
+            self._tracer = RecordingTracer(
+                capacity=getattr(sim.tracer, "capacity", None))
+            sim.tracer = self._tracer
+            sim._trace = True
+            sim._install_tracer()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def frontier(self) -> int:
+        return self.part.target_cycle
+
+    def _take_ack(self, peer: str) -> int:
+        through = self.inboxes[peer].applied_through
+        self.inboxes[peer].note_ack_sent(through)
+        return through
+
+    def _flush_all(self) -> None:
+        for peer, conduit in self.conduits.items():
+            try:
+                conduit.flush()
+            except (BrokenPipeError, OSError):
+                # the peer exited; it has already applied everything it
+                # needed from us (a worker only finalizes past the stop
+                # fence) or the run is aborting — drop the frames
+                conduit.buffer = []
+                self._dead_peers.add(peer)
+        self._flush_reports()
+
+    def _send_ctl(self, msg) -> None:
+        try:
+            self.ctl_send.send(msg)
+        except (BrokenPipeError, OSError):
+            os._exit(3)
+
+    def _handle(self, conn, msg) -> None:
+        kind = msg[0]
+        peer = self._conn_peer.get(conn)
+        if kind == "frames":
+            _, frames, ack = msg
+            self.inboxes[peer].offer(frames)
+            self.conduits[peer].note_ack(ack)
+        elif kind == "ack":
+            self.conduits[peer].note_ack(msg[1])
+        elif kind == "stop":
+            self._stop_fence = msg[1]
+        elif kind == "abort":
+            self._abort_reason = msg[1]
+
+    def _drain(self, conn) -> None:
+        while True:
+            try:
+                if not conn.poll():
+                    return
+                msg = conn.recv()
+            except (EOFError, OSError):
+                if conn is self.ctl_recv:
+                    os._exit(3)  # coordinator vanished: die quietly
+                peer = self._conn_peer.get(conn)
+                self._dead_peers.add(peer)
+                if conn in self._wait_conns:
+                    self._wait_conns.remove(conn)
+                return
+            self._handle(conn, msg)
+
+    def _raise_control(self) -> None:
+        # a stop is NOT raised here: the fence must be honoured at a
+        # pass boundary (we may be blocked mid-pass on a frame we still
+        # have to apply); only aborts interrupt immediately
+        if self._abort_reason is not None:
+            raise _Abort(self._abort_reason)
+
+    def _poll_control(self) -> None:
+        self._drain(self.ctl_recv)
+        self._raise_control()
+
+    def _wait_until(self, pred) -> None:
+        """Block until ``pred()`` — flushing first so peers never starve
+        on our buffered frames, and heartbeating while idle."""
+        while not pred():
+            self._flush_all()
+            ready = _conn_wait(self._wait_conns,
+                               timeout=self.heartbeat_s)
+            if not ready:
+                self._send_ctl(("heartbeat", self.name, self.pass_no,
+                                self.frontier()))
+            for conn in ready:
+                self._drain(conn)
+            self._raise_control()
+            # a pass beyond the stop fence only moves empty frames (all
+            # partitions are done), so it is safe — and necessary — to
+            # finalize from inside it: the peer we are waiting on has
+            # itself stopped at the fence
+            if self._stop_fence is not None \
+                    and self.pass_no > self._stop_fence:
+                raise _Stop()
+
+    # -- the wavefront -------------------------------------------------------
+
+    def _apply_frame(self, peer: str, pass_no: int) -> None:
+        if pass_no <= 0:
+            return
+        inbox = self.inboxes[peer]
+        if not inbox.has(pass_no):
+            self._wait_until(lambda: inbox.has(pass_no))
+        frame = inbox.take(pass_no)
+        sim = self.sim
+        for idx, _dst, token, arrive_ns, rx_ns in frame.deliveries:
+            sim.apply_link_delivery(sim.links[idx], token,
+                                    arrive_ns, rx_ns)
+        for key, ns in frame.credits:
+            sim._consume_times.setdefault(key, deque()).append(ns)
+        due = inbox.standalone_ack_due()
+        if due is not None:
+            try:
+                self.conduits[peer].conn.send(("ack", due))
+            except (BrokenPipeError, OSError):
+                self._dead_peers.add(peer)
+            inbox.note_ack_sent(due)
+
+    def _own_pass(self) -> bool:
+        sim, part = self.sim, self.part
+        progress = False
+        if part.target_cycle < self.target_cycles:
+            sim._feed_sources(part)
+            for prefix, unit in part.units:
+                if unit.target_cycle >= self.target_cycles:
+                    continue
+                progress |= sim._process_unit(part, prefix, unit)
+        return progress
+
+    def _emit_frames(self, pass_no: int) -> None:
+        for peer in self.peers:
+            conduit = self.conduits[peer]
+            if not conduit.window_open(pass_no) \
+                    and peer not in self._dead_peers:
+                self._wait_until(
+                    lambda c=conduit, p=peer: c.window_open(pass_no)
+                    or p in self._dead_peers)
+            if peer not in self._dead_peers:
+                try:
+                    conduit.push(self.router.out[peer])
+                except (BrokenPipeError, OSError):
+                    self._dead_peers.add(peer)
+
+    def _report(self, pass_no: int, progress: bool) -> None:
+        reached = self.frontier() >= self.target_cycles
+        self._reports.append((pass_no, self.frontier(), progress))
+        if (len(self._reports) >= self.flush_interval
+                or (not progress and not reached)
+                or (reached and not self._reported_reached)):
+            self._flush_reports()
+            if reached:
+                self._reported_reached = True
+
+    def _flush_reports(self) -> None:
+        if self._reports:
+            self._send_ctl(("progress", self.name, self._reports))
+            self._reports = []
+
+    def _maybe_die(self, pass_no: int) -> None:
+        if self.die is None or pass_no != self.die[1]:
+            return
+        mode = self.die[0]
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "raise":
+            raise RuntimeError("injected worker fault (test)")
+        elif mode == "hang":
+            time.sleep(3600)
+
+    def loop(self) -> None:
+        """Run passes forever; exits via :class:`_Stop`/:class:`_Abort`
+        (or an error).  The coordinator owns termination decisions —
+        global completion, deadlock and crash conditions all need the
+        view across every partition."""
+        idle = 0
+        while True:
+            if self._stop_fence is not None \
+                    and self.pass_no >= self._stop_fence:
+                raise _Stop()
+            self.pass_no += 1
+            k = self.pass_no
+            for peer in self.peers_after:
+                self._apply_frame(peer, k - 1)
+            for peer in self.peers_before:
+                self._apply_frame(peer, k)
+            self._poll_control()
+            self._maybe_die(k)
+            self.router.begin_pass(k)
+            progress = self._own_pass()
+            self._emit_frames(k)
+            self._report(k, progress)
+            # serial parity: the pass budget only binds while this
+            # partition still has work (a finished worker's service
+            # passes aren't passes the serial loop would have run)
+            if (k > self.max_passes
+                    and self.frontier() < self.target_cycles):
+                raise SimulationError(
+                    "co-simulation pass budget exhausted")
+            if progress or self.frontier() >= self.target_cycles:
+                idle = 0
+            else:
+                # likely deadlocked: keep serving frames and reporting,
+                # but don't burn the host while the coordinator decides
+                idle += 1
+                if idle >= 2:
+                    time.sleep(min(0.001 * idle, 0.02))
+
+    # -- terminal payloads ---------------------------------------------------
+
+    def fragment(self) -> dict:
+        """Everything the coordinator needs to make the parent process's
+        simulation object identical to a serial run's."""
+        sim, me = self.sim, self.name
+        links_src, links_dst = {}, {}
+        #: the receive side owns the full consume-time sequence (it is
+        #: the appender); each sender owns how far its credit reads have
+        #: trimmed the shared queue — the merge recombines them
+        consume_values, consume_base = {}, {}
+        for i, link in enumerate(sim.links):
+            if link.src[0] == me:
+                entry = {
+                    "tokens": link.tokens,
+                    "next_free": link.next_free,
+                    "busy_ns": link.busy_ns,
+                    "reliability": (link.reliability.state_dict()
+                                    if link.reliability is not None
+                                    else None),
+                }
+                if link.hooks.switch is not None:
+                    entry["switch"] = {
+                        "next_free": link.hooks.switch.next_free,
+                        "tokens": link.hooks.switch.tokens,
+                    }
+                links_src[i] = entry
+                if link.dst in sim._consume_base:
+                    consume_base[link.dst] = \
+                        sim._consume_base[link.dst]
+            if link.dst[0] == me:
+                links_dst[i] = {"depth_hist": dict(link.depth_hist)}
+                if link.dst in sim._consume_times:
+                    consume_values[link.dst] = \
+                        list(sim._consume_times[link.dst])
+        return {
+            "partition": me,
+            "passes": self.pass_no,
+            "busy_until": self.part.busy_until,
+            "spans": self.part.hooks.spans.as_dict(),
+            "host": self.part.host.state_dict(),
+            "links_src": links_src,
+            "links_dst": links_dst,
+            "arrivals": {k: list(v) for k, v in sim._arrivals.items()
+                         if k[0] == me},
+            "consume_values": consume_values,
+            "consume_base": consume_base,
+            "output_log": {k: v for k, v in sim.output_log.items()
+                           if k[0] == me},
+            "total_delta": sim.total_tokens - self._tokens0,
+            "dropped_delta": sim.dropped_tokens - self._dropped0,
+            "tracer_events": (self._tracer.events
+                              if self._tracer is not None else None),
+            # wire accounting (benchmarks; never merged into sim state)
+            "wire_stats": {
+                "messages_sent": sum(c.messages_sent
+                                     for c in self.conduits.values()),
+                "effects_sent": sum(c.effects_sent
+                                    for c in self.conduits.values()),
+                "frames_pushed": sum(c.pushed_through
+                                     for c in self.conduits.values()),
+            },
+        }
+
+    def postmortem_payload(self) -> dict:
+        part = self.part
+        return {
+            "partition": self.name,
+            "frontier": part.target_cycle,
+            "busy_until": part.busy_until,
+            "stuck": [unit.stuck_detail() for _, unit in part.units],
+            "channels": {
+                (prefix + unit.name if prefix else unit.name):
+                    unit.channel_state()
+                for prefix, unit in part.units
+            },
+            "events": (self._tracer.recent(self.sim.postmortem_events)
+                       if self._tracer is not None else []),
+        }
+
+
+def worker_main(sim, name, order, target_cycles, max_passes,
+                data_conns, ctl_recv, ctl_send, unrelated_conns,
+                options) -> None:
+    """Entry point of a forked worker process.
+
+    ``unrelated_conns`` is every pipe end belonging to other workers;
+    closing them here is what lets peers and the coordinator observe a
+    clean EOF the moment any single worker dies.
+    """
+    global IN_WORKER
+    IN_WORKER = True
+    for conn in unrelated_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    worker = None
+    try:
+        worker = PartitionWorker(
+            sim, name, order, target_cycles, max_passes,
+            data_conns, ctl_recv, ctl_send,
+            flush_interval=options.get("flush_interval", 16),
+            window=options.get("window"),
+            heartbeat_s=options.get("heartbeat_s", 5.0),
+            die=options.get("die"))
+        worker.loop()
+    except _Stop:
+        worker._flush_all()
+        # final standalone acks: a peer may still be blocked on its
+        # flow-control window for a pass we applied but never acked
+        for peer, inbox in worker.inboxes.items():
+            try:
+                worker.conduits[peer].conn.send(
+                    ("ack", inbox.applied_through))
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            ctl_send.send(("done", worker.fragment()))
+        except (BrokenPipeError, OSError):
+            os._exit(3)
+        os._exit(0)
+    except _Abort as abort:
+        if abort.reason == "deadlock":
+            try:
+                ctl_send.send(("postmortem",
+                               worker.postmortem_payload()))
+            except (BrokenPipeError, OSError):
+                pass
+        os._exit(0)
+    except Exception as exc:  # noqa: BLE001 — everything must be reported
+        import traceback
+        tail = traceback.format_exc(limit=-3)
+        try:
+            ctl_send.send(("failed", name, type(exc).__name__,
+                           f"{exc}\n{tail}".rstrip()))
+        except (BrokenPipeError, OSError):
+            pass
+        os._exit(1)
+    os._exit(0)

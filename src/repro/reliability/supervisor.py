@@ -86,6 +86,13 @@ class RunSupervisor:
             :class:`~repro.observability.tracer.Tracer` receiving the
             supervisor's heartbeat/checkpoint/rollback events (this is
             separate from any tracer the built simulation carries).
+        backend: optional :class:`~repro.parallel.ProcessBackend`; when
+            given, every segment runs distributed across per-partition
+            worker processes.  A worker that dies or hangs surfaces as
+            a :class:`~repro.errors.WorkerError` (a
+            ``SimulationError``), so the ordinary rollback/resume path
+            applies — the supervisor rebuilds, restores the last
+            checkpoint, and retries, up to ``max_rollbacks``.
     """
 
     def __init__(self, build: Callable[[], PartitionedSimulation],
@@ -93,10 +100,12 @@ class RunSupervisor:
                  checkpoint_dir: Optional[Union[str, Path]] = None,
                  max_rollbacks: int = 3,
                  crash_at_cycles: Sequence[int] = (),
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 backend=None):
         if checkpoint_every <= 0:
             raise SimulationError("checkpoint_every must be positive")
         self.build = build
+        self.backend = backend
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
@@ -162,7 +171,12 @@ class RunSupervisor:
                     and self._pending_crashes[0] <= seg_end:
                 crash_cycle = self._pending_crashes[0]
             try:
-                sim.run(seg_end, stop=self._segment_stop(crash_cycle))
+                if self.backend is not None:
+                    self.backend.run(sim, seg_end,
+                                     crash_cycle=crash_cycle)
+                else:
+                    sim.run(seg_end,
+                            stop=self._segment_stop(crash_cycle))
                 if sim.frontier_cycle() <= frontier:
                     raise SimulationError(
                         f"no partition advanced past cycle {frontier} "

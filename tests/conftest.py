@@ -1,4 +1,8 @@
-"""Shared fixtures: small circuits used across the suite."""
+"""Shared fixtures: small circuits used across the suite.
+
+The opt-in ``REPRO_TEST_TIMEOUT`` per-test watchdog lives in the
+repo-root ``conftest.py`` so the benchmarks get it too.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,92 @@
+"""Unit tests for the frame/credit message layer."""
+
+import pytest
+
+from repro.parallel import EffectFrame, FrameConduit, FrameInbox
+
+
+class _FakeConn:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+
+def _frame(k, deliveries=(), credits=()):
+    return EffectFrame("peer", k, list(deliveries), list(credits))
+
+
+class TestEffectFrame:
+    def test_empty_detection(self):
+        assert _frame(1).empty
+        assert not _frame(1, deliveries=[(0, ("a", "in"), {}, 0.0, 0.0)]).empty
+        assert not _frame(1, credits=[(("a", "in"), 5.0)]).empty
+
+
+class TestFrameConduit:
+    def test_batches_until_flush_interval(self):
+        conn = _FakeConn()
+        conduit = FrameConduit(conn, "peer", flush_interval=4)
+        for k in range(1, 4):
+            conduit.push(_frame(k))
+        assert conn.sent == []          # 3 of 4 buffered
+        conduit.push(_frame(4))
+        assert len(conn.sent) == 1      # full batch flushed as ONE message
+        kind, frames, ack = conn.sent[0]
+        assert kind == "frames"
+        assert [f.pass_no for f in frames] == [1, 2, 3, 4]
+        assert conduit.messages_sent == 1
+
+    def test_explicit_flush_drains_partial_batch(self):
+        conn = _FakeConn()
+        conduit = FrameConduit(conn, "peer", flush_interval=16)
+        conduit.push(_frame(1))
+        conduit.flush()
+        assert len(conn.sent) == 1
+        conduit.flush()                  # idempotent on empty buffer
+        assert len(conn.sent) == 1
+
+    def test_piggybacked_ack_uses_hook(self):
+        conn = _FakeConn()
+        conduit = FrameConduit(conn, "peer", flush_interval=1)
+        conduit.ack_source = lambda: 42
+        conduit.push(_frame(1))
+        assert conn.sent[0][2] == 42
+
+    def test_window_blocks_unacked_runahead(self):
+        conduit = FrameConduit(_FakeConn(), "peer",
+                               flush_interval=2, window=8)
+        assert conduit.window_open(8)
+        assert not conduit.window_open(9)
+        conduit.note_ack(5)
+        assert conduit.window_open(13)
+        conduit.note_ack(3)              # stale acks never move backwards
+        assert conduit.acked_through == 5
+
+    def test_flush_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrameConduit(_FakeConn(), "peer", flush_interval=0)
+
+
+class TestFrameInbox:
+    def test_offer_take_tracks_applied_watermark(self):
+        inbox = FrameInbox("peer")
+        inbox.offer([_frame(1), _frame(2)])
+        assert inbox.has(1) and inbox.has(2) and not inbox.has(3)
+        assert inbox.take(1).pass_no == 1
+        assert inbox.applied_through == 1
+        inbox.take(2)
+        assert inbox.applied_through == 2
+        assert not inbox.has(1)
+
+    def test_standalone_ack_owed_when_reverse_idle(self):
+        inbox = FrameInbox("peer", ack_every=3)
+        inbox.offer([_frame(k) for k in range(1, 4)])
+        inbox.take(1)
+        inbox.take(2)
+        assert inbox.standalone_ack_due() is None
+        inbox.take(3)
+        assert inbox.standalone_ack_due() == 3
+        inbox.note_ack_sent(3)
+        assert inbox.standalone_ack_due() is None

@@ -1,0 +1,79 @@
+"""RunSupervisor driving segments through the process backend."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.errors import WorkerError
+from repro.parallel import ProcessBackend, fork_available
+from repro.reliability import RunSupervisor, harden_links
+
+from .conftest import build_star_sim
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process backend needs fork")
+
+
+def _build():
+    sim = build_star_sim(2)
+    harden_links(sim)
+    return sim
+
+
+class _DieOnceBackend(ProcessBackend):
+    """Kills one worker during the first segment only — models a
+    transient host failure the supervisor must roll back across."""
+
+    def __init__(self):
+        super().__init__()
+        self._armed = True
+
+    def run(self, sim, target_cycles, **kwargs):
+        self.worker_faults = \
+            {"fpga1": ("kill", 4)} if self._armed else {}
+        self._armed = False
+        return super().run(sim, target_cycles, **kwargs)
+
+
+class TestSupervisedParallelRuns:
+    def test_backend_segments_bit_identical(self):
+        ref = RunSupervisor(_build, checkpoint_every=6).run(20)
+        par = RunSupervisor(_build, checkpoint_every=6,
+                            backend=ProcessBackend()).run(20)
+        assert par.result.detail == ref.result.detail
+        assert par.output_log == ref.output_log
+        assert par.rollbacks == 0
+        assert mp.active_children() == []
+
+    def test_worker_death_rolls_back_and_completes(self):
+        ref = RunSupervisor(_build, checkpoint_every=6).run(20)
+        par = RunSupervisor(_build, checkpoint_every=6,
+                            backend=_DieOnceBackend()).run(20)
+        assert par.rollbacks == 1
+        kinds = par.event_kinds()
+        assert "stall" in kinds and "rollback" in kinds
+        stall = next(e for e in par.events if e.kind == "stall")
+        assert "fpga1" in stall.note and "died" in stall.note
+        assert par.result.detail == ref.result.detail
+        assert par.output_log == ref.output_log
+        assert mp.active_children() == []
+
+    def test_persistent_worker_death_gives_up(self):
+        sup = RunSupervisor(
+            _build, checkpoint_every=6, max_rollbacks=1,
+            backend=ProcessBackend(
+                worker_faults={"fpga1": ("kill", 4)}))
+        with pytest.raises(WorkerError):
+            sup.run(20)
+        assert mp.active_children() == []
+
+    def test_crash_injection_through_backend(self):
+        ref = RunSupervisor(_build, checkpoint_every=6,
+                            crash_at_cycles=[9]).run(20)
+        par = RunSupervisor(_build, checkpoint_every=6,
+                            crash_at_cycles=[9],
+                            backend=ProcessBackend()).run(20)
+        assert par.event_kinds() == ref.event_kinds()
+        assert par.result.detail == ref.result.detail
+        assert par.output_log == ref.output_log
+        assert mp.active_children() == []

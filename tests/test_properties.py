@@ -315,3 +315,72 @@ def test_fast_mode_cycle_exact_wrt_modified_target(child_cfg, top_cfg):
     part = _partitioned_trace(circuit, FAST, cycles)
     for c in range(cycles):
         assert part[c] == ref[c], f"cycle {c} diverged from modified RTL"
+
+
+def _multi_design_mode(cfg, mode):
+    groups = [PartitionGroup.make(f"fpga{k + 1}", [f"leaf{k}"])
+              for k in range(cfg["n_children"])]
+    spec = PartitionSpec(mode=mode, groups=groups)
+    return FireRipper(spec).compile(_build_multi(cfg))
+
+
+def _multi_sim(cfg, mode):
+    return _multi_design_mode(cfg, mode).build_simulation(
+        QSFP_AURORA, record_outputs=True,
+        sources={("base", "io_in"): _stim_source(cfg)})
+
+
+@given(cfg=multi_spec, mode=st.sampled_from([EXACT, FAST]))
+@settings(max_examples=25, deadline=None)
+def test_process_backend_bit_identical_to_inproc(cfg, mode):
+    """The distributed backend's contract: running every partition in
+    its own OS process over real pipes produces the *same bits* as the
+    cooperative in-process loop — the full result detail (FMR split,
+    link accounting, reliability stats), token counts, per-partition
+    cycles and the recorded output trace, on random 2-3 partition
+    topologies in both exact and fast mode."""
+    from repro.parallel import ProcessBackend, fork_available
+    if not fork_available():  # pragma: no cover - linux CI always has fork
+        return
+    cycles = 8
+    s1 = _multi_sim(cfg, mode)
+    r1 = s1.run(cycles, backend="inproc")
+    s2 = _multi_sim(cfg, mode)
+    r2 = ProcessBackend().run(s2, cycles)
+    assert r2.detail == r1.detail
+    assert r2.target_cycles == r1.target_cycles
+    assert r2.tokens_transferred == r1.tokens_transferred
+    assert r2.per_partition_cycles == r1.per_partition_cycles
+    assert s2.output_log == s1.output_log
+
+
+@given(cfg=multi_spec)
+@settings(max_examples=10, deadline=None)
+def test_parallel_checkpoint_resumes_in_process(cfg):
+    """Backends are interchangeable mid-run: a checkpoint captured from
+    a process-backed run is byte-identical to one captured from the
+    in-process loop at the same cycle, and restoring it into the
+    in-process backend continues to exactly the state a serial
+    checkpoint-resume reaches."""
+    from repro.parallel import ProcessBackend, fork_available
+    from repro.reliability import capture_state, restore_state
+    if not fork_available():  # pragma: no cover - linux CI always has fork
+        return
+    serial = _multi_sim(cfg, EXACT)
+    serial.run(7, backend="inproc")
+    serial_state = capture_state(serial)
+
+    parallel = _multi_sim(cfg, EXACT)
+    ProcessBackend().run(parallel, 7)
+    parallel_state = capture_state(parallel)
+    assert parallel_state == serial_state
+
+    def resume(state):
+        sim = _multi_sim(cfg, EXACT)
+        restore_state(sim, state)
+        return sim.run(14, backend="inproc"), sim.output_log
+
+    r1, log1 = resume(serial_state)
+    r2, log2 = resume(parallel_state)
+    assert r2.detail == r1.detail
+    assert log2 == log1
