@@ -1,13 +1,18 @@
-"""Tracing-overhead benchmark: the observability layer must be free
-when off.
+"""Tracing/metrics-overhead benchmark: observability must be free when
+off.
 
 Every emit site in the harness/wrapper/link layers guards on the
-tracer's ``enabled`` flag, so an untraced run (``tracer=None``) and an
-explicit :class:`NullTracer` run execute the identical guarded path —
-this bench pins that the guard itself stays under a 5% overhead versus
-the untraced run, and reports the (real, expected) cost of a recording
-tracer for comparison.  Timings are min-of-repeats to shed scheduler
-noise; the measured numbers land in ``results/BENCH_trace_overhead.json``.
+tracer's (and telemetry's) ``enabled`` flag, so an untraced run
+(``tracer=None``) and an explicit :class:`NullTracer` run execute the
+identical guarded path — this bench pins that the guard itself stays
+under a 5% overhead versus the untraced run, and reports the (real,
+expected) cost of a recording tracer for comparison.  A second test
+does the same for the telemetry layer: a null metrics registry must
+stay under the bound (in-process *and* under the process backend,
+where the guard also sits on the workers' hot path), with the real
+cost of cycle-keyed sampling reported alongside.  Timings are
+min-of-repeats to shed scheduler noise; the measured numbers merge
+into ``results/BENCH_trace_overhead.json``.
 """
 
 import json
@@ -16,14 +21,31 @@ from pathlib import Path
 
 from repro.fireripper import EXACT, FireRipper, PartitionGroup, PartitionSpec
 from repro.observability import NullTracer, RecordingTracer
+from repro.parallel import fork_available
 from repro.platform import QSFP_AURORA
 from repro.targets import make_comb_pair_circuit
+from repro.telemetry import NullTelemetry, Telemetry
 
 CYCLES = 400
 REPEATS = 7
 MAX_NULL_OVERHEAD = 0.05
 
 RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _merge_results(payload: dict) -> None:
+    """Merge ``payload`` into the shared trace-overhead results file
+    (the two tests each own a disjoint set of keys)."""
+    path = RESULTS / "BENCH_trace_overhead.json"
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    existing = {}
+    if path.is_file():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def _compile_pair():
@@ -50,6 +72,20 @@ def _min_run_seconds(design, makers):
     return best
 
 
+def _min_telemetry_seconds(design, makers, backend):
+    """Like :func:`_min_run_seconds`, varying the telemetry session
+    (and the execution backend) instead of the tracer."""
+    best = [float("inf")] * len(makers)
+    for _ in range(REPEATS):
+        for i, make_telemetry in enumerate(makers):
+            sim = design.build_simulation(QSFP_AURORA,
+                                          telemetry=make_telemetry())
+            t0 = time.perf_counter()
+            sim.run(CYCLES, backend=backend)
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
 def test_null_tracer_overhead_under_5pct():
     design = _compile_pair()
     untraced, null, recording = _min_run_seconds(
@@ -67,10 +103,52 @@ def test_null_tracer_overhead_under_5pct():
         "recording_overhead_pct": recording_overhead * 100.0,
         "bound_pct": MAX_NULL_OVERHEAD * 100.0,
     }
-    RESULTS.mkdir(parents=True, exist_ok=True)
-    (RESULTS / "BENCH_trace_overhead.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    _merge_results(payload)
     print(f"\nnull-tracer overhead: {null_overhead * 100.0:+.2f}% "
           f"(bound {MAX_NULL_OVERHEAD * 100.0:.0f}%); "
           f"recording tracer: {recording_overhead * 100.0:+.2f}%")
     assert null_overhead < MAX_NULL_OVERHEAD, payload
+
+
+def test_null_metrics_overhead_under_5pct():
+    """A disabled telemetry session must be free on both backends; the
+    real sampling cost is reported for context, not bounded."""
+    design = _compile_pair()
+    plain, null, sampling = _min_telemetry_seconds(
+        design,
+        [lambda: None, NullTelemetry,
+         lambda: Telemetry(sample_every=50)],
+        backend="inproc")
+    null_overhead = null / plain - 1.0
+    sampling_overhead = sampling / plain - 1.0
+
+    payload = {
+        "metrics_cycles": CYCLES,
+        "metrics_repeats": REPEATS,
+        "plain_s": plain,
+        "null_metrics_s": null,
+        "sampling_s": sampling,
+        "null_metrics_overhead_pct": null_overhead * 100.0,
+        "sampling_overhead_pct": sampling_overhead * 100.0,
+    }
+    if fork_available():
+        proc_plain, proc_null = _min_telemetry_seconds(
+            design, [lambda: None, NullTelemetry], backend="process")
+        proc_overhead = proc_null / proc_plain - 1.0
+        payload.update({
+            "process_plain_s": proc_plain,
+            "process_null_metrics_s": proc_null,
+            "process_null_overhead_pct": proc_overhead * 100.0,
+        })
+    _merge_results(payload)
+    print(f"\nnull-metrics overhead: {null_overhead * 100.0:+.2f}% "
+          f"(bound {MAX_NULL_OVERHEAD * 100.0:.0f}%); "
+          f"sampling every 50 cycles: "
+          f"{sampling_overhead * 100.0:+.2f}%"
+          + (f"; process-backend null: "
+             f"{payload['process_null_overhead_pct']:+.2f}%"
+             if "process_null_overhead_pct" in payload else ""))
+    assert null_overhead < MAX_NULL_OVERHEAD, payload
+    if "process_null_overhead_pct" in payload:
+        assert payload["process_null_overhead_pct"] \
+            < MAX_NULL_OVERHEAD * 100.0, payload

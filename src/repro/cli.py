@@ -14,13 +14,27 @@ scale, operating on circuit files in the textual IR format:
   reliable links; report the rate degradation versus a fault-free run
   and verify the delivered outputs stayed bit-identical,
 * ``trace``     — run with a recording tracer and export a Chrome
-  trace-event JSON (load it at https://ui.perfetto.dev); on deadlock,
-  print the postmortem and keep the partial trace,
+  trace-event JSON (load it at https://ui.perfetto.dev); the export is
+  streamed record-by-record, ``--gzip`` compresses it on the way out;
+  on deadlock, print the postmortem and keep the partial trace,
 * ``profile``   — run and print the per-partition FMR breakdown,
   link utilization and the dominant bottleneck,
 * ``autopartition`` — run the boundary search and print the resulting
   spec,
-* ``experiments`` — alias for ``python -m repro.experiments``.
+* ``experiments`` — alias for ``python -m repro.experiments``,
+* ``compare``   — diff two archived runs: rate delta plus the FMR
+  attribution of the change (which overhead component absorbed it),
+* ``watch``     — follow an in-flight run's live status file
+  (``simulate --metrics --live`` writes it, under either backend),
+* ``regress``   — the regression gate: re-measure the canonical
+  modelled rates against ``results/BENCH_rates.json``, validate the
+  committed benchmark bounds, and judge the newest archived run
+  against its trajectory; non-zero exit on any violation.
+
+``simulate --metrics N`` samples a deterministic per-partition metric
+time-series every N target cycles (identical across backends);
+``--archive`` persists the run — config fingerprint, backend, headline
+numbers, FMR breakdown, series — under ``results/runs/``.
 
 Example::
 
@@ -33,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -54,14 +69,22 @@ from .platform import (
 )
 from .observability import (
     RecordingTracer,
-    export_chrome_trace,
     format_profile,
+    stream_chrome_trace,
 )
 from .reliability import (
     FaultSpec,
     RunSupervisor,
     harden_links,
     inject_faults,
+)
+from .telemetry import (
+    LiveStatus,
+    RunRegistry,
+    Telemetry,
+    compare_runs,
+    format_comparison,
+    run_gate,
 )
 
 TRANSPORTS = {
@@ -118,9 +141,13 @@ def cmd_partition(args) -> int:
 def cmd_simulate(args) -> int:
     circuit = _load(args.circuit)
     design = FireRipper(_spec(args)).compile(circuit)
+    telemetry = None
+    if args.metrics or args.live or args.archive:
+        telemetry = Telemetry(sample_every=args.metrics or 50,
+                              live_path=args.live)
     sim = design.build_simulation(
         TRANSPORTS[args.transport], host_freq_mhz=args.freq,
-        record_outputs=True)
+        record_outputs=True, telemetry=telemetry)
 
     stop = None
     if args.until:
@@ -140,6 +167,21 @@ def cmd_simulate(args) -> int:
     log = sim.output_log.get(("base", "io_out"), [])
     if log:
         print(f"final outputs: {log[-1]}")
+    if telemetry is not None:
+        series = result.detail.get("telemetry", {}).get("series", {})
+        points = sum(len(p) for p in series.values())
+        print(f"telemetry: {points} sample point(s) across "
+              f"{len(series)} partition(s), "
+              f"every {telemetry.sample_every} cycles")
+    if args.archive:
+        registry = RunRegistry(args.runs_dir)
+        config = {"circuit": args.circuit, "extract": args.extract,
+                  "mode": args.mode, "transport": args.transport,
+                  "freq": args.freq, "cycles": args.cycles}
+        path = registry.archive(
+            result, name=args.archive,
+            backend=sim.last_run_backend or "inproc", config=config)
+        print(f"archived run: {path}")
     return 0
 
 
@@ -228,10 +270,12 @@ def cmd_trace(args) -> int:
     except DeadlockError as exc:
         if exc.postmortem is not None:
             print(exc.postmortem.to_text(), file=sys.stderr)
-        path = export_chrome_trace(tracer.events, args.out)
+        path = stream_chrome_trace(tracer.events, args.out,
+                                   compress=args.gzip)
         print(f"wrote partial trace to {path}", file=sys.stderr)
         raise
-    path = export_chrome_trace(tracer.events, args.out)
+    path = stream_chrome_trace(tracer.events, args.out,
+                               compress=args.gzip)
     print(f"simulated {result.target_cycles} target cycles at "
           f"{result.rate_khz:.2f} kHz over "
           f"{TRANSPORTS[args.transport].name}")
@@ -258,6 +302,59 @@ def cmd_profile(args) -> int:
 def cmd_experiments(args) -> int:
     from .experiments.runner import main as experiments_main
     return experiments_main(args.rest)
+
+
+def cmd_compare(args) -> int:
+    registry = RunRegistry(args.runs_dir)
+    comparison = compare_runs(registry.load(args.run_a),
+                              registry.load(args.run_b))
+    print(format_comparison(comparison))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Follow a live-status file until the run finishes (or times
+    out).  ``--once`` prints a single snapshot — scripts and tests use
+    it to poll without blocking."""
+    deadline = time.monotonic() + args.timeout
+    last_updated = None
+    while True:
+        payload = LiveStatus.read(args.status)
+        if payload is not None \
+                and payload.get("updated") != last_updated:
+            last_updated = payload.get("updated")
+            frontier = payload.get("frontier_cycle", 0)
+            target = payload.get("target_cycles")
+            rate = payload.get("rate_hz", 0.0)
+            progress = (f" / {target} "
+                        f"({frontier / target * 100.0:.1f}%)"
+                        if target else "")
+            print(f"[{payload.get('backend', '?')}] "
+                  f"cycle {frontier}{progress}  "
+                  f"rate {rate / 1e3:.2f} kHz  "
+                  f"{payload.get('status', '?')}")
+            if payload.get("status") == "done":
+                return 0
+        if args.once:
+            if payload is None:
+                print(f"watch: no status at {args.status}",
+                      file=sys.stderr)
+                return 1
+            return 0
+        if time.monotonic() > deadline:
+            print("watch: timed out", file=sys.stderr)
+            return 1
+        time.sleep(args.poll)
+
+
+def cmd_regress(args) -> int:
+    report = run_gate(results_dir=args.results_dir,
+                      threshold=args.threshold,
+                      inject_slowdown=args.inject_slowdown,
+                      update=args.update,
+                      runs_dir=args.runs_dir)
+    print(report.to_text(args.threshold))
+    return 0 if report.ok else 1
 
 
 def cmd_autopartition(args) -> int:
@@ -303,6 +400,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="execution engine: 'process' runs one OS "
                             "worker per partition (default: auto, "
                             "honouring REPRO_BACKEND)")
+    p_sim.add_argument("--metrics", type=int, default=0, metavar="N",
+                       help="sample a deterministic metric time-series "
+                            "every N target cycles (0: off)")
+    p_sim.add_argument("--live", metavar="FILE",
+                       help="keep a live status file up to date while "
+                            "the run progresses (repro watch reads it; "
+                            "implies --metrics 50 unless given)")
+    p_sim.add_argument("--archive", metavar="NAME",
+                       help="archive the run under the run registry "
+                            "with this name (implies --metrics 50 "
+                            "unless given)")
+    p_sim.add_argument("--runs-dir", default="results/runs",
+                       help="run registry directory "
+                            "(default: results/runs)")
     p_sim.set_defaults(fn=cmd_simulate)
 
     p_rel = subs.add_parser(
@@ -348,6 +459,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("--events", type=int, default=None,
                          metavar="N",
                          help="ring-buffer capacity (default: keep all)")
+    p_trace.add_argument("--gzip", action="store_true",
+                         help="gzip the streamed export (.gz appended "
+                              "to the output name; Perfetto opens "
+                              ".json.gz directly)")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_prof = subs.add_parser(
@@ -369,6 +484,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="arguments for repro.experiments "
                             "(names, --out, --profile, --jobs)")
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_cmp = subs.add_parser(
+        "compare",
+        help="diff two archived runs: rate delta + FMR attribution")
+    p_cmp.add_argument("run_a", help="baseline run id (or run.json path)")
+    p_cmp.add_argument("run_b", help="new run id (or run.json path)")
+    p_cmp.add_argument("--runs-dir", default="results/runs")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_watch = subs.add_parser(
+        "watch",
+        help="follow an in-flight run's live status file")
+    p_watch.add_argument("status", nargs="?", default="results/live.json",
+                         help="status file written by simulate --live "
+                              "(default: results/live.json)")
+    p_watch.add_argument("--poll", type=float, default=0.25,
+                         help="poll interval in seconds")
+    p_watch.add_argument("--timeout", type=float, default=300.0,
+                         help="give up after this many seconds")
+    p_watch.add_argument("--once", action="store_true",
+                         help="print one snapshot and exit")
+    p_watch.set_defaults(fn=cmd_watch)
+
+    p_reg = subs.add_parser(
+        "regress",
+        help="regression gate: canonical modelled rates vs the "
+             "committed baseline, benchmark bounds, run trajectory")
+    p_reg.add_argument("--results-dir", default="results")
+    p_reg.add_argument("--runs-dir", default=None,
+                       help="also judge the newest archived run in this "
+                            "registry against its trajectory")
+    p_reg.add_argument("--threshold", type=float, default=0.10,
+                       help="allowed fractional rate degradation "
+                            "(default: 0.10)")
+    p_reg.add_argument("--inject-slowdown", type=float, default=0.0,
+                       metavar="FRAC",
+                       help="scale measured rates down by FRAC — the "
+                            "CI self-test proving the gate trips")
+    p_reg.add_argument("--update", action="store_true",
+                       help="rewrite the baseline from this "
+                            "measurement instead of checking")
+    p_reg.set_defaults(fn=cmd_regress)
 
     p_auto = subs.add_parser("autopartition",
                              help="search for partition boundaries")

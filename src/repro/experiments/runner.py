@@ -9,10 +9,13 @@ Results print to stdout in the same rows/series the paper reports;
 pass ``--out DIR`` to also write one ``.txt`` file per experiment,
 ``--profile`` to append a host-time profile (FMR component split and
 dominant bottleneck) per experiment, collected from every partitioned
-run the experiment performs, and ``--jobs N`` to run independent
-experiments in up to ``N`` forked worker processes (``--profile``
-forces sequential execution: the profile session aggregates in-process
-state that cannot cross a fork).
+run the experiment performs, ``--archive DIR`` to archive each
+experiment's final partitioned run into a run registry (so ``repro
+compare`` / ``repro regress`` can track experiment trajectories across
+sessions), and ``--jobs N`` to run independent experiments in up to
+``N`` forked worker processes (``--profile`` and ``--archive`` force
+sequential execution: both aggregate in-process state that cannot
+cross a fork).
 """
 
 from __future__ import annotations
@@ -83,10 +86,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="append a host-time profile (FMR component "
                              "split, bottleneck) per experiment")
+    parser.add_argument("--archive", type=Path, default=None,
+                        metavar="DIR",
+                        help="archive each experiment's final "
+                             "partitioned run into the run registry at "
+                             "DIR (forces sequential execution)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="run up to N experiments concurrently in "
                              "forked workers (default: 1; ignored with "
-                             "--profile)")
+                             "--profile/--archive)")
     args = parser.parse_args(argv)
 
     names = select(args.experiments)
@@ -97,14 +105,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    jobs = 1 if args.profile else args.jobs
+    jobs = 1 if (args.profile or args.archive is not None) \
+        else args.jobs
+    registry = None
+    if args.archive is not None:
+        from ..telemetry import RunRegistry
+        registry = RunRegistry(args.archive)
 
     def run_one(name: str) -> Tuple[str, float]:
         start = time.time()
-        if args.profile:
+        if args.profile or registry is not None:
+            # the ambient session also captures every partitioned
+            # result, which is what --archive persists
             with profile_session() as session:
                 text = EXPERIMENTS[name]()
-            text += "\n\n" + session.summary()
+            if args.profile:
+                text += "\n\n" + session.summary()
+            if registry is not None and session.results:
+                path = registry.archive(
+                    session.results[-1], name=name,
+                    config={"experiment": name})
+                text += f"\n[archived {path}]"
         else:
             text = EXPERIMENTS[name]()
         return text, time.time() - start

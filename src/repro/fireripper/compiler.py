@@ -67,7 +67,8 @@ class PartitionedDesign:
             fame5_merge: Optional[Dict[str, Sequence[str]]] = None,
             advance_overhead_ns: float = 0.0,
             channel_capacity: int = 0,
-            tracer=None
+            tracer=None,
+            telemetry=None
             ) -> PartitionedSimulation:
         """Instantiate the full co-simulation for this design.
 
@@ -86,6 +87,9 @@ class PartitionedDesign:
             tracer: optional
                 :class:`~repro.observability.tracer.Tracer` threaded
                 through the harness, units and links (null by default).
+            telemetry: optional
+                :class:`~repro.telemetry.Telemetry` session — metrics
+                registry plus cycle-keyed sampler (null by default).
         """
         fame5_merge = dict(fame5_merge or {})
         group_to_merged: Dict[str, Tuple[str, int]] = {}
@@ -155,7 +159,8 @@ class PartitionedDesign:
             seed_boundary=(self.spec.mode == FAST),
             record_outputs=record_outputs,
             channel_capacity=channel_capacity,
-            tracer=tracer)
+            tracer=tracer,
+            telemetry=telemetry)
 
 
 class FireRipper:

@@ -24,6 +24,7 @@ with each stuck unit's channel state.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -45,6 +46,7 @@ from ..observability import profile as _profile
 from ..observability.postmortem import DeadlockPostmortem
 from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
 from ..platform.transport import TransportModel
+from ..telemetry.sampler import NULL_TELEMETRY, Telemetry
 from .hooks import LinkHooks, PartitionHooks
 from .metrics import SimulationResult
 
@@ -226,12 +228,22 @@ class PartitionedSimulation:
                  record_outputs: bool = False,
                  channel_capacity: int = 0,
                  tracer: Optional[Tracer] = None,
-                 postmortem_events: int = 64):
+                 postmortem_events: Optional[int] = None,
+                 telemetry: Optional[Telemetry] = None):
         #: trace sink threaded through the harness, units and links;
         #: the null default keeps every emit site a single flag check
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
+        #: metrics registry + cycle-keyed sampler; the null default
+        #: keeps every instrument site a single flag check
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self._metrics_on = self.telemetry.enabled
         #: how many trailing events a deadlock postmortem keeps
+        #: (``REPRO_POSTMORTEM_RING`` overrides the default of 64)
+        if postmortem_events is None:
+            postmortem_events = int(os.environ.get(
+                "REPRO_POSTMORTEM_RING", "") or 64)
         self.postmortem_events = postmortem_events
         self.partitions: Dict[str, Partition] = {}
         for p in partitions:
@@ -385,6 +397,10 @@ class PartitionedSimulation:
         self._deliver(link.dst, token, arrive_ns)
         depth = len(self._arrivals[link.dst])
         link.depth_hist[depth] = link.depth_hist.get(depth, 0) + 1
+        if self._metrics_on:
+            registry = self.telemetry.registry
+            registry.counter("tokens_rx", link.dst[0]).inc()
+            registry.histogram("rx_depth", link.dst[0]).observe(depth)
         if self._trace:
             self.tracer.emit(TraceEvent(
                 "token_rx", ts_ns=arrive_ns,
@@ -452,6 +468,9 @@ class PartitionedSimulation:
                             self._consume_base.get(link.dst, 0) + drop
             credit_wait = start - dep_start
             spans.credit_stall_ns += credit_wait
+            if credit_wait and self._metrics_on:
+                self.telemetry.registry.counter(
+                    "credit_stalls", part.name).inc()
             if credit_wait and self._trace:
                 self.tracer.emit(TraceEvent(
                     "credit_stall", ts_ns=dep_start, dur_ns=credit_wait,
@@ -461,6 +480,9 @@ class PartitionedSimulation:
                 # external observation channel (a FireSim bridge tap):
                 # drained by wide DMA batches, effectively free
                 part.busy_until = start
+                if self._metrics_on:
+                    self.telemetry.registry.counter(
+                        "bridge_outputs", part.name).inc()
                 if self.record_outputs:
                     self.output_log.setdefault(
                         (part.name, full), []).append(token)
@@ -503,6 +525,9 @@ class PartitionedSimulation:
                 self.dropped_tokens += 1
             link.tokens += 1
             self.total_tokens += 1
+            if self._metrics_on:
+                self.telemetry.registry.counter(
+                    "tokens_tx", part.name).inc()
         if unit.can_advance():
             input_ready = 0.0
             for base in unit.in_channels:
@@ -567,6 +592,9 @@ class PartitionedSimulation:
                 return chosen.run(self, target_cycles,
                                   max_passes=max_passes)
         self.last_run_backend = "inproc"
+        if self._metrics_on:
+            self.telemetry.target_cycles = max(
+                self.telemetry.target_cycles or 0, target_cycles)
         passes = 0
         while self.frontier_cycle() < target_cycles:
             if stop is not None and stop(self):
@@ -578,6 +606,12 @@ class PartitionedSimulation:
                     if unit.target_cycle >= target_cycles:
                         continue
                     progress |= self._process_unit(part, prefix, unit)
+                if self._metrics_on:
+                    # the sampler sees each partition right after its
+                    # slot in the pass — the same point the process
+                    # backend's worker samples at, which is what makes
+                    # the series bit-identical across backends
+                    self.telemetry.on_pass(self, part)
             passes += 1
             if not progress:
                 detail = " ;; ".join(
@@ -595,6 +629,11 @@ class PartitionedSimulation:
                                     postmortem=self._postmortem(passes))
             if passes > max_passes:
                 raise SimulationError("co-simulation pass budget exhausted")
+        if self._metrics_on and self.frontier_cycle() >= (
+                self.telemetry.target_cycles or 0):
+            # only the final segment (supervisor runs pin the overall
+            # target first) writes the terminal live-status record
+            self.telemetry.finish(self)
         return self.result()
 
     def _postmortem(self, passes: int) -> DeadlockPostmortem:
@@ -656,6 +695,8 @@ class PartitionedSimulation:
         }
         if link_stats:
             detail["reliability"] = link_stats
+        if self._metrics_on:
+            detail["telemetry"] = self.telemetry.detail()
         result = SimulationResult(
             target_cycles=cycles,
             wall_ns=wall_ns,

@@ -19,7 +19,12 @@ makes those visible in the reproduction:
   ambient session behind ``python -m repro.experiments --profile``.
 """
 
-from .chrome_trace import export_chrome_trace, to_chrome_trace
+from .chrome_trace import (
+    export_chrome_trace,
+    iter_chrome_records,
+    stream_chrome_trace,
+    to_chrome_trace,
+)
 from .fmr import FMR_COMPONENTS, FMRSpans
 from .postmortem import DeadlockPostmortem
 from .profile import (
@@ -50,6 +55,8 @@ __all__ = [
     "DeadlockPostmortem",
     "to_chrome_trace",
     "export_chrome_trace",
+    "stream_chrome_trace",
+    "iter_chrome_records",
     "ProfileSession",
     "profile_session",
     "record_result",

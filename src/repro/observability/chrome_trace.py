@@ -14,39 +14,49 @@ https://ui.perfetto.dev (and chrome://tracing) open directly:
 
 Timestamps are the timing overlay's modelled host time, exported in
 microseconds as the format requires.
+
+Two writers share one record generator: :func:`export_chrome_trace`
+builds the whole document in memory (small traces, tests), while
+:func:`stream_chrome_trace` writes record-by-record — the document is
+never materialized, so a multi-million-event trace exports in constant
+memory — and optionally gzip-compresses on the way out (Perfetto opens
+``.json.gz`` directly).
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 from .tracer import TraceEvent
 
 
-def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
-    """Build the Chrome trace dict for ``events``."""
+def iter_chrome_records(events: Iterable[TraceEvent]) -> Iterator[dict]:
+    """Yield Chrome trace records one at a time, interleaving the
+    process/thread metadata records exactly where a buffered export
+    would have placed them (first use)."""
     pid_of: Dict[str, int] = {}
     tid_of: Dict[Tuple[str, str], int] = {}
-    out: List[dict] = []
+    pending: List[dict] = []
 
     def pid(part: str) -> int:
         name = part or "global"
         if name not in pid_of:
             pid_of[name] = len(pid_of) + 1
-            out.append({"ph": "M", "name": "process_name",
-                        "pid": pid_of[name], "tid": 0,
-                        "args": {"name": name}})
+            pending.append({"ph": "M", "name": "process_name",
+                            "pid": pid_of[name], "tid": 0,
+                            "args": {"name": name}})
         return pid_of[name]
 
     def tid(part: str, scope: str) -> int:
         key = (part or "global", scope or "events")
         if key not in tid_of:
             tid_of[key] = len(tid_of) + 1
-            out.append({"ph": "M", "name": "thread_name",
-                        "pid": pid(part), "tid": tid_of[key],
-                        "args": {"name": key[1]}})
+            pending.append({"ph": "M", "name": "thread_name",
+                            "pid": pid(part), "tid": tid_of[key],
+                            "args": {"name": key[1]}})
         return tid_of[key]
 
     for event in events:
@@ -64,17 +74,24 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
         else:
             record["ph"] = "i"
             record["s"] = "t"
-        out.append(record)
+        yield from pending
+        pending.clear()
+        yield record
         if event.kind == "token_rx" and "depth" in event.args:
-            out.append({
+            yield {
                 "ph": "C",
                 "name": f"in-flight {event.scope}",
                 "ts": event.ts_ns / 1e3,
                 "pid": pid(event.part),
                 "tid": 0,
                 "args": {"tokens": event.args["depth"]},
-            })
-    return {"traceEvents": out, "displayTimeUnit": "ns"}
+            }
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Build the Chrome trace dict for ``events``."""
+    return {"traceEvents": list(iter_chrome_records(events)),
+            "displayTimeUnit": "ns"}
 
 
 def export_chrome_trace(events: Iterable[TraceEvent],
@@ -83,4 +100,31 @@ def export_chrome_trace(events: Iterable[TraceEvent],
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_chrome_trace(events)))
+    return path
+
+
+def stream_chrome_trace(events: Iterable[TraceEvent],
+                        path: Union[str, Path],
+                        compress: bool = False) -> Path:
+    """Stream ``events`` to ``path`` without buffering the document.
+
+    With ``compress`` the output is gzipped (a ``.gz`` suffix is
+    appended unless the path already carries one).  The produced JSON
+    parses to exactly what :func:`export_chrome_trace` writes.
+    """
+    path = Path(path)
+    if compress and not path.name.endswith(".gz"):
+        path = path.with_name(path.name + ".gz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    opener = (lambda p: gzip.open(p, "wt", encoding="utf-8")) \
+        if compress else (lambda p: open(p, "w", encoding="utf-8"))
+    with opener(path) as fh:
+        fh.write('{"traceEvents": [')
+        first = True
+        for record in iter_chrome_records(events):
+            if not first:
+                fh.write(", ")
+            fh.write(json.dumps(record))
+            first = False
+        fh.write('], "displayTimeUnit": "ns"}')
     return path

@@ -50,6 +50,27 @@ class EffectFrame:
         return not self.deliveries and not self.credits
 
 
+@dataclass
+class MetricFrame:
+    """Compact telemetry piggybacked on a worker's ``progress``
+    control message (no extra pipes).
+
+    Carries the sample points the worker's cycle-keyed sampler emitted
+    since its previous report, plus the partition's current position.
+    The coordinator uses these only to render live status (``repro
+    watch``); the *authoritative* series ships once, in the worker's
+    final state fragment, which is what gets merged into the parent's
+    telemetry — so live reporting can never perturb the bit-identical
+    result.
+    """
+
+    part: str
+    frontier: int
+    busy_ns: float
+    #: new (target cycle, {metric: value}) points since the last frame
+    samples: List[tuple] = field(default_factory=list)
+
+
 class FrameConduit:
     """Outgoing half of one worker->peer frame stream.
 

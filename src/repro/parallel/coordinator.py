@@ -97,7 +97,7 @@ def auto_backend(sim) -> Optional["ProcessBackend"]:
 class _WorkerState:
     __slots__ = ("frontier", "last_true_pass", "max_reported",
                  "last_seen", "fragment", "postmortem", "dead",
-                 "exitcode", "failed")
+                 "exitcode", "failed", "busy_ns")
 
     def __init__(self, frontier: int, now: float):
         self.frontier = frontier
@@ -110,6 +110,9 @@ class _WorkerState:
         self.exitcode: Optional[int] = None
         #: (exception type name, message) from a "failed" report
         self.failed: Optional[Tuple[str, str]] = None
+        #: modelled time position from the last piggybacked metric
+        #: frame (live status rendering only)
+        self.busy_ns = 0.0
 
 
 class ProcessBackend:
@@ -153,8 +156,12 @@ class ProcessBackend:
         reason = unsupported_reason(sim)
         if reason is not None:
             raise UnsupportedTopologyError(reason)
+        if sim.telemetry.enabled:
+            sim.telemetry.target_cycles = max(
+                sim.telemetry.target_cycles or 0, target_cycles)
         if sim.frontier_cycle() >= target_cycles:
             sim.last_run_backend = "process"
+            self._finish_telemetry(sim)
             return sim.result()
         if crash_cycle is not None \
                 and sim.frontier_cycle() >= crash_cycle:
@@ -295,6 +302,10 @@ class ProcessBackend:
                         self._drain(conn_name[item],
                                     ctl_recv[conn_name[item]],
                                     states, now)
+                live = (sim.telemetry.live
+                        if sim.telemetry.enabled else None)
+                if live is not None:
+                    live.update(self._live_payload(sim, states))
 
                 failure = primary_failure or self._find_failure(
                     names, states, stopping, aborting)
@@ -362,7 +373,34 @@ class ProcessBackend:
             for n, frag in fragments.items()}
         self._merge(sim, fragments)
         sim.last_run_backend = "process"
+        self._finish_telemetry(sim)
         return sim.result()
+
+    @staticmethod
+    def _live_payload(sim, states) -> dict:
+        """Live status assembled from piggybacked metric frames — the
+        parent's partition objects are stale while workers run."""
+        wall_ns = max((s.busy_ns for s in states.values()),
+                      default=0.0)
+        frontier = min((s.frontier for s in states.values()),
+                       default=0)
+        rate_hz = frontier / wall_ns * 1e9 if wall_ns > 0 else 0.0
+        return {
+            "status": "running",
+            "backend": "process",
+            "frontier_cycle": frontier,
+            "target_cycles": sim.telemetry.target_cycles,
+            "wall_ns": wall_ns,
+            "rate_hz": rate_hz,
+            "partitions": {name: state.frontier
+                           for name, state in states.items()},
+        }
+
+    @staticmethod
+    def _finish_telemetry(sim) -> None:
+        if sim.telemetry.enabled and sim.frontier_cycle() >= (
+                sim.telemetry.target_cycles or 0):
+            sim.telemetry.finish(sim)
 
     def _drain(self, name, conn, states, now) -> None:
         state = states[name]
@@ -382,6 +420,10 @@ class ProcessBackend:
                     if progressed and pass_no > state.last_true_pass:
                         state.last_true_pass = pass_no
                     state.frontier = frontier
+                if len(msg) > 3 and msg[3] is not None:
+                    state.busy_ns = msg[3].busy_ns
+                    state.frontier = max(state.frontier,
+                                         msg[3].frontier)
             elif kind == "heartbeat":
                 state.frontier = max(state.frontier, msg[3])
             elif kind == "done":
@@ -541,6 +583,9 @@ class ProcessBackend:
             dropped += frag["dropped_delta"]
             if frag["tracer_events"]:
                 merged_events.extend(frag["tracer_events"])
+            if frag.get("telemetry") is not None \
+                    and sim.telemetry.enabled:
+                sim.telemetry.merge_worker(name, frag["telemetry"])
         # consume-time queues: the receiver reports the full (untrimmed)
         # append sequence, the sender how far its credit reads trimmed
         # it; serially the two act on one shared deque.  A sole feeder

@@ -29,9 +29,13 @@ mutate no state, so the final merged state is deterministic.
 
 Control protocol (worker -> coordinator, over the control pipe):
 
-``("progress", name, [(pass, frontier, progressed), ...])``
+``("progress", name, [(pass, frontier, progressed), ...], metrics)``
     batched per-pass progress; flushed on no-progress passes so the
-    coordinator can detect global deadlock quickly.
+    coordinator can detect global deadlock quickly.  ``metrics`` is a
+    :class:`~repro.parallel.channels.MetricFrame` with the sample
+    points taken since the previous report (None when telemetry is
+    off) — live status rides the existing control pipe, no extra
+    plumbing.
 ``("heartbeat", name, pass, frontier)``
     emitted while blocked, so a hung peer is distinguishable from a
     hung self.
@@ -54,7 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..observability.tracer import RecordingTracer
-from .channels import EffectFrame, FrameConduit, FrameInbox
+from .channels import EffectFrame, FrameConduit, FrameInbox, MetricFrame
 
 #: set in forked children so backend auto-selection never recurses
 IN_WORKER = False
@@ -173,6 +177,19 @@ class PartitionWorker:
         self._reported_reached = False
         self._tokens0 = sim.total_tokens
         self._dropped0 = sim.dropped_tokens
+
+        # only the coordinator renders live status; the worker's
+        # inherited copy must not race it on the same file.  The
+        # samples-sent cursor starts past any series points inherited
+        # from the parent (a resumed run) so only fresh points ride
+        # the progress reports.
+        self._samples_sent = 0
+        if sim.telemetry.enabled:
+            sim.telemetry.live = None
+            sim.telemetry.target_cycles = max(
+                sim.telemetry.target_cycles or 0, target_cycles)
+            self._samples_sent = len(
+                sim.telemetry.sampler.series.get(name, []))
 
         # a recording parent tracer is swapped for a fresh one so the
         # fragment ships only the events this run produced
@@ -306,6 +323,11 @@ class PartitionWorker:
                 if unit.target_cycle >= self.target_cycles:
                     continue
                 progress |= sim._process_unit(part, prefix, unit)
+            if sim._metrics_on:
+                # same logical point as the serial loop's per-partition
+                # sampling hook; the wavefront invariant makes the
+                # partition-local state here bit-identical to it
+                sim.telemetry.on_pass(sim, part)
         return progress
 
     def _emit_frames(self, pass_no: int) -> None:
@@ -334,7 +356,16 @@ class PartitionWorker:
 
     def _flush_reports(self) -> None:
         if self._reports:
-            self._send_ctl(("progress", self.name, self._reports))
+            metrics = None
+            if self.sim._metrics_on:
+                series = self.sim.telemetry.sampler.series.get(
+                    self.name, [])
+                metrics = MetricFrame(
+                    self.name, self.frontier(), self.part.busy_until,
+                    list(series[self._samples_sent:]))
+                self._samples_sent = len(series)
+            self._send_ctl(("progress", self.name, self._reports,
+                            metrics))
             self._reports = []
 
     def _maybe_die(self, pass_no: int) -> None:
@@ -439,6 +470,11 @@ class PartitionWorker:
             "dropped_delta": sim.dropped_tokens - self._dropped0,
             "tracer_events": (self._tracer.events
                               if self._tracer is not None else None),
+            # authoritative telemetry: the merge takes this partition's
+            # series and instruments from here, never from the live
+            # metric frames above
+            "telemetry": (sim.telemetry.state_dict()
+                          if sim.telemetry.enabled else None),
             # wire accounting (benchmarks; never merged into sim state)
             "wire_stats": {
                 "messages_sent": sum(c.messages_sent

@@ -10,7 +10,12 @@ partitioned run:
   stats, shared switch backplane cursors,
 * the harness queues — pending arrival times, credit consume times (and
   their trim bases), token counters, the recorded output log,
-* reliable-link layer state (sequence numbers, stats) when attached.
+* reliable-link layer state (sequence numbers, stats) when attached,
+* telemetry state (sampled metric series, instrument values, sampler
+  cursors) when the simulation carries an enabled telemetry session —
+  so a restored run's series continues exactly where the checkpointed
+  one left off.  The key is optional: checkpoints from telemetry-off
+  runs (and older captures) restore unchanged.
 
 The on-disk format is versioned JSON; :func:`restore_state` validates a
 topology fingerprint so a checkpoint can only land on a structurally
@@ -73,7 +78,7 @@ def _switches(sim: PartitionedSimulation) -> List[object]:
 
 def capture_state(sim: PartitionedSimulation) -> dict:
     """Snapshot ``sim`` into a JSON-serializable dict."""
-    return {
+    state = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
         "topology": _topology(sim),
@@ -111,6 +116,9 @@ def capture_state(sim: PartitionedSimulation) -> dict:
         "total_tokens": sim.total_tokens,
         "dropped_tokens": sim.dropped_tokens,
     }
+    if sim.telemetry.enabled:
+        state["telemetry"] = sim.telemetry.state_dict()
+    return state
 
 
 def restore_state(sim: PartitionedSimulation, state: dict) -> None:
@@ -182,6 +190,9 @@ def restore_state(sim: PartitionedSimulation, state: dict) -> None:
     }
     sim.total_tokens = state["total_tokens"]
     sim.dropped_tokens = state["dropped_tokens"]
+    telemetry_state = state.get("telemetry")
+    if telemetry_state is not None and sim.telemetry.enabled:
+        sim.telemetry.load_state_dict(telemetry_state)
 
 
 def save_checkpoint(sim: PartitionedSimulation,

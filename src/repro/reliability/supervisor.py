@@ -142,6 +142,16 @@ class RunSupervisor:
         self._emit("heartbeat", sim, progress=self._heartbeat(sim))
         return state
 
+    @staticmethod
+    def _pin_target(sim: PartitionedSimulation,
+                    target_cycles: int) -> None:
+        """Pin the *overall* run target on a (re)built simulation's
+        telemetry so segment-sized ``run`` calls neither finalize the
+        live status early nor lower the pinned target."""
+        if sim.telemetry.enabled:
+            sim.telemetry.target_cycles = max(
+                sim.telemetry.target_cycles or 0, target_cycles)
+
     def _segment_stop(self, crash_cycle: Optional[int]):
         if crash_cycle is None:
             return None
@@ -157,6 +167,7 @@ class RunSupervisor:
     def run(self, target_cycles: int) -> SupervisorReport:
         """Simulate ``target_cycles``, surviving crashes and stalls."""
         sim = self.build()
+        self._pin_target(sim, target_cycles)
         report = SupervisorReport(result=sim.result())
         last_state = self._take_checkpoint(sim, report)
         rollbacks = 0
@@ -195,6 +206,7 @@ class RunSupervisor:
                 if rollbacks > self.max_rollbacks:
                     raise
                 sim = self.build()
+                self._pin_target(sim, target_cycles)
                 restore_state(sim, last_state)
                 report.events.append(SupervisorEvent(
                     "rollback", sim.frontier_cycle(),

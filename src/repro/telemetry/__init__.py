@@ -1,0 +1,92 @@
+"""Live telemetry: metrics registry, time-series sampling, run
+registry, regression gating.
+
+Where :mod:`repro.observability` answers "what happened" after the fact
+(event traces, FMR breakdowns, postmortems), this package answers "what
+is happening and how does it compare":
+
+* :mod:`~repro.telemetry.metrics` — partition-scoped counters, gauges
+  and histograms behind a pay-as-you-go
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (null by default,
+  like the tracer),
+* :mod:`~repro.telemetry.sampler` — a cycle-keyed
+  :class:`~repro.telemetry.sampler.Sampler` emitting deterministic
+  per-partition time-series, bit-identical between the in-process loop
+  and the process backend (per-worker series ride the existing pipes
+  and are merged by the coordinator), plus the
+  :class:`~repro.telemetry.sampler.LiveStatus` file ``repro watch``
+  polls,
+* :mod:`~repro.telemetry.runs` — the persistent
+  :class:`~repro.telemetry.runs.RunRegistry` under ``results/runs/``
+  and the ``repro compare`` diff (rate delta + FMR attribution),
+* :mod:`~repro.telemetry.regression` — the regression detector behind
+  ``repro regress`` and the CI ``bench-regression`` gate.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from .regression import (
+    GateReport,
+    Violation,
+    check_bench_files,
+    check_rates,
+    check_run,
+    load_baseline,
+    measure_canonical,
+    run_gate,
+    save_baseline,
+)
+from .runs import (
+    RunComparison,
+    RunRegistry,
+    compare_runs,
+    config_fingerprint,
+    format_comparison,
+    run_record,
+)
+from .sampler import (
+    LiveStatus,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SAMPLE_FIELDS,
+    Sampler,
+    Telemetry,
+    telemetry_from_env,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "SAMPLE_FIELDS",
+    "Sampler",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "LiveStatus",
+    "telemetry_from_env",
+    "RunRegistry",
+    "RunComparison",
+    "run_record",
+    "compare_runs",
+    "format_comparison",
+    "config_fingerprint",
+    "GateReport",
+    "Violation",
+    "measure_canonical",
+    "check_rates",
+    "check_run",
+    "check_bench_files",
+    "load_baseline",
+    "save_baseline",
+    "run_gate",
+]

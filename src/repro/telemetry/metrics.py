@@ -1,0 +1,233 @@
+"""Metric instruments and the pay-as-you-go registry.
+
+The telemetry layer complements the event tracer: instead of a stream
+of individual events, it maintains *aggregates* — counters (token
+crossings, credit stalls), gauges (last-seen values) and fixed-bucket
+histograms (receiver in-flight depths) — cheap enough to leave on for
+long runs, and a :class:`~repro.telemetry.sampler.Sampler` that turns
+them into deterministic time-series.
+
+Every instrument is scoped to a partition (the ``part`` label).  That
+is not cosmetic: under the process backend each partition's worker owns
+exactly the instruments labelled with its partition, which is what lets
+the coordinator merge per-worker registries back into one with no
+double counting — the same ownership rule the state-fragment merge
+already uses for links and arrival queues.
+
+Like the tracer, the default is a :data:`NULL_METRICS` registry whose
+``enabled`` flag is ``False``; every instrument site in the harness
+guards on that flag, so an uninstrumented run pays one attribute read
+per potential update (``bench_observability`` pins the cost under 5%).
+
+All values are derived from *modelled* host time and token counts —
+never python wall time — so identical runs produce identical metrics on
+any backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: default histogram bucket upper bounds (the last bucket is +inf)
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+_Key = Tuple[str, str, str]  # (kind, name, part)
+
+
+class Counter:
+    """A monotonically increasing sum (count or accumulated ns)."""
+
+    __slots__ = ("name", "part", "value")
+
+    def __init__(self, name: str, part: str = ""):
+        self.name = name
+        self.part = part
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value (queue depth, current rate)."""
+
+    __slots__ = ("name", "part", "value")
+
+    def __init__(self, name: str, part: str = ""):
+        self.name = name
+        self.part = part
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram plus count and sum.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; the trailing
+    bucket counts the rest.  Bounds are fixed at construction so two
+    histograms of the same instrument always merge bucket-for-bucket.
+    """
+
+    __slots__ = ("name", "part", "bounds", "buckets", "count", "sum")
+
+    def __init__(self, name: str, part: str = "",
+                 bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.part = part
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Owns every instrument of one run.
+
+    Instruments are created lazily on first touch and identified by
+    ``(kind, name, part)``; repeated lookups return the same object, so
+    hot-path call sites can also cache the instrument once.
+    """
+
+    #: instrument sites skip updates entirely when False
+    enabled: bool = True
+
+    def __init__(self):
+        self._instruments: Dict[_Key, object] = {}
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str, part: str = "") -> Counter:
+        key = ("counter", name, part)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = self._instruments[key] = Counter(name, part)
+        return inst
+
+    def gauge(self, name: str, part: str = "") -> Gauge:
+        key = ("gauge", name, part)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = self._instruments[key] = Gauge(name, part)
+        return inst
+
+    def histogram(self, name: str, part: str = "",
+                  bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        key = ("histogram", name, part)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = self._instruments[key] = Histogram(name, part, bounds)
+        return inst
+
+    def value(self, kind: str, name: str, part: str = "") -> float:
+        """Current value of a counter/gauge (0.0 when untouched)."""
+        inst = self._instruments.get((kind, name, part))
+        return inst.value if inst is not None else 0.0
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self, part: Optional[str] = None) -> dict:
+        """JSON-able state of every instrument (optionally one
+        partition's), in deterministic sorted order."""
+        out: Dict[str, dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        for (kind, name, p), inst in sorted(
+                self._instruments.items()):
+            if part is not None and p != part:
+                continue
+            key = f"{name}|{p}"
+            if kind == "counter":
+                out["counters"][key] = inst.value
+            elif kind == "gauge":
+                out["gauges"][key] = inst.value
+            else:
+                out["histograms"][key] = inst.as_dict()
+        return out
+
+    def load_snapshot(self, state: dict,
+                      part: Optional[str] = None) -> None:
+        """Restore instruments from :meth:`snapshot` output.  With
+        ``part`` given, only that partition's instruments are loaded
+        (the coordinator's per-worker merge)."""
+        for key, value in state.get("counters", {}).items():
+            name, p = key.rsplit("|", 1)
+            if part is not None and p != part:
+                continue
+            self.counter(name, p).value = value
+        for key, value in state.get("gauges", {}).items():
+            name, p = key.rsplit("|", 1)
+            if part is not None and p != part:
+                continue
+            self.gauge(name, p).value = value
+        for key, entry in state.get("histograms", {}).items():
+            name, p = key.rsplit("|", 1)
+            if part is not None and p != part:
+                continue
+            hist = self.histogram(name, p,
+                                  bounds=tuple(entry["bounds"]))
+            hist.buckets = list(entry["buckets"])
+            hist.count = entry["count"]
+            hist.sum = entry["sum"]
+
+    def partitions(self) -> List[str]:
+        """Partition labels that own at least one instrument."""
+        return sorted({p for (_, _, p) in self._instruments})
+
+
+class _NullInstrument:
+    """Absorbs updates; shared by every null-registry lookup."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:  # pragma: no cover
+        pass
+
+    def set(self, value: float) -> None:  # pragma: no cover
+        pass
+
+    def observe(self, value: float) -> None:  # pragma: no cover
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The default no-op registry: nothing recorded, nothing paid."""
+
+    enabled = False
+
+    def counter(self, name: str, part: str = ""):  # pragma: no cover
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, part: str = ""):  # pragma: no cover
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, part: str = "",
+                  bounds=DEFAULT_BUCKETS):  # pragma: no cover
+        return _NULL_INSTRUMENT
+
+
+#: shared default registry — attach sites use this instead of None checks
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,228 @@
+"""Persistent run registry: archive, look up, and diff runs.
+
+Every archived run lands under ``results/runs/<run_id>/run.json`` with
+its config fingerprint, backend, headline numbers, per-partition FMR
+breakdown and (when telemetry was on) the sampled metric series.  The
+registry is the memory the regression detector checks new runs against,
+and what ``repro compare A B`` diffs:
+
+* the **rate delta** between two runs, and
+* the **FMR attribution** of that delta — which overhead component
+  (serdes, link wait, credit stall, sync) of which partition absorbed
+  the extra host time.  Because the FMR components partition each
+  partition's ``busy_until`` exactly, the component deltas weighted by
+  simulated cycles account for the whole change in host time; the
+  dominant one names the cause.
+
+Run identity: ``run_id`` is caller-chosen (CLI default: a name plus the
+config fingerprint plus a sequence number), and the *fingerprint* —
+a hash over the run's configuration — groups runs of the same workload
+across time so trajectories can be tracked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ReproError
+from ..observability.fmr import FMR_COMPONENTS
+
+RUN_FORMAT = "fireaxe-repro-run"
+RUN_VERSION = 1
+
+
+def config_fingerprint(config: dict) -> str:
+    """Stable 12-hex-digit digest of a run configuration."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def run_record(result, name: str = "", backend: str = "",
+               config: Optional[dict] = None) -> dict:
+    """Build the archive payload for one ``SimulationResult``."""
+    config = dict(config or {})
+    detail = dict(result.detail)
+    return {
+        "format": RUN_FORMAT,
+        "version": RUN_VERSION,
+        "name": name,
+        "backend": backend,
+        "config": config,
+        "fingerprint": config_fingerprint(config),
+        "created": time.time(),
+        "target_cycles": result.target_cycles,
+        "wall_ns": result.wall_ns,
+        "rate_hz": result.rate_hz,
+        "tokens_transferred": result.tokens_transferred,
+        "per_partition_cycles": dict(result.per_partition_cycles),
+        "detail": detail,
+    }
+
+
+class RunRegistry:
+    """Archive of runs under one directory (``results/runs`` by
+    default)."""
+
+    def __init__(self, root: Union[str, Path] = "results/runs"):
+        self.root = Path(root)
+
+    # -- write ------------------------------------------------------------
+
+    def archive(self, result, name: str = "run",
+                backend: str = "", config: Optional[dict] = None,
+                run_id: Optional[str] = None) -> Path:
+        """Persist one run; returns the record path."""
+        record = run_record(result, name=name, backend=backend,
+                            config=config)
+        if run_id is None:
+            run_id = self._new_id(name, record["fingerprint"])
+        record["run_id"] = run_id
+        path = self.root / run_id / "run.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record, indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def _new_id(self, name: str, fingerprint: str) -> str:
+        seq = 0
+        prefix = f"{name}-{fingerprint}"
+        while (self.root / f"{prefix}-{seq:04d}").exists():
+            seq += 1
+        return f"{prefix}-{seq:04d}"
+
+    # -- read -------------------------------------------------------------
+
+    def load(self, run_id: str) -> dict:
+        """Load one archived run by id (or by a path to its json)."""
+        path = Path(run_id)
+        if not path.is_file():
+            path = self.root / run_id / "run.json"
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read run {run_id!r}: {exc}")
+        if record.get("format") != RUN_FORMAT:
+            raise ReproError(f"{path} is not an archived run record")
+        return record
+
+    def list_runs(self) -> List[dict]:
+        """Every archived record, oldest first."""
+        records = []
+        if not self.root.is_dir():
+            return records
+        for path in sorted(self.root.glob("*/run.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("format") == RUN_FORMAT:
+                records.append(record)
+        records.sort(key=lambda r: r.get("created", 0.0))
+        return records
+
+    def trajectory(self, fingerprint: str) -> List[dict]:
+        """Archived runs sharing one config fingerprint, oldest
+        first — the history a new run of that config is judged
+        against."""
+        return [r for r in self.list_runs()
+                if r.get("fingerprint") == fingerprint]
+
+
+# -- comparison ------------------------------------------------------------
+
+
+@dataclass
+class RunComparison:
+    """The diff of two archived runs."""
+
+    run_a: str
+    run_b: str
+    rate_a_hz: float
+    rate_b_hz: float
+    #: per partition, per FMR component: B minus A (host cycles per
+    #: target cycle)
+    fmr_delta: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: per component: cycle-weighted host-cycle delta across partitions
+    attribution: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rate_delta_pct(self) -> float:
+        if self.rate_a_hz == 0:
+            return 0.0
+        return (self.rate_b_hz / self.rate_a_hz - 1.0) * 100.0
+
+    @property
+    def dominant_component(self) -> str:
+        """The FMR component absorbing the largest share of the host
+        time change (in the direction of the change)."""
+        if not self.attribution:
+            return "none"
+        total = sum(self.attribution.values())
+        key = max if total >= 0 else min
+        return key(self.attribution, key=self.attribution.get)
+
+
+def compare_runs(a: dict, b: dict) -> RunComparison:
+    """Diff two :func:`run_record` payloads (A = baseline, B = new)."""
+    comparison = RunComparison(
+        run_a=a.get("run_id", a.get("name", "A")),
+        run_b=b.get("run_id", b.get("name", "B")),
+        rate_a_hz=a.get("rate_hz", 0.0),
+        rate_b_hz=b.get("rate_hz", 0.0))
+    break_a = a.get("detail", {}).get("fmr_breakdown", {})
+    break_b = b.get("detail", {}).get("fmr_breakdown", {})
+    cycles_a = a.get("per_partition_cycles", {})
+    cycles_b = b.get("per_partition_cycles", {})
+    attribution = {name: 0.0 for name in FMR_COMPONENTS}
+    for part in sorted(set(break_a) & set(break_b)):
+        deltas = {}
+        weight = min(cycles_a.get(part, a.get("target_cycles", 0)),
+                     cycles_b.get(part, b.get("target_cycles", 0)))
+        for component in FMR_COMPONENTS:
+            delta = (break_b[part].get(component, 0.0)
+                     - break_a[part].get(component, 0.0))
+            deltas[component] = delta
+            attribution[component] += delta * weight
+        comparison.fmr_delta[part] = deltas
+    comparison.attribution = attribution
+    return comparison
+
+
+def format_comparison(comparison: RunComparison) -> str:
+    """Render a comparison the way ``repro compare`` prints it."""
+    sign = "+" if comparison.rate_delta_pct >= 0 else ""
+    lines = [
+        f"compare {comparison.run_a} -> {comparison.run_b}",
+        f"rate: {comparison.rate_a_hz / 1e3:.2f} kHz -> "
+        f"{comparison.rate_b_hz / 1e3:.2f} kHz "
+        f"({sign}{comparison.rate_delta_pct:.1f}%)",
+    ]
+    if comparison.fmr_delta:
+        lines.append("")
+        lines.append("FMR delta (host cycles per target cycle, B - A):")
+        header = f"{'partition':>12}" + "".join(
+            f"{name:>14}" for name in FMR_COMPONENTS)
+        lines.append(header)
+        for part in sorted(comparison.fmr_delta):
+            deltas = comparison.fmr_delta[part]
+            lines.append(f"{part:>12}" + "".join(
+                f"{deltas.get(name, 0.0):>+14.3f}"
+                for name in FMR_COMPONENTS))
+        total = sum(comparison.attribution.values())
+        if total:
+            lines.append("")
+            lines.append("attribution of the host-time change:")
+            for name in FMR_COMPONENTS:
+                value = comparison.attribution[name]
+                share = value / total * 100.0
+                lines.append(f"  {name:>14}: {value:>+12.1f} "
+                             f"host cycles ({share:.1f}%)")
+            lines.append(f"dominant component: "
+                         f"{comparison.dominant_component}")
+    return "\n".join(lines)

@@ -1,5 +1,6 @@
 """Chrome trace-event export: valid, loadable JSON from a traced run."""
 
+import gzip
 import json
 
 from repro.fireripper import EXACT, FireRipper, PartitionGroup, PartitionSpec
@@ -7,6 +8,8 @@ from repro.observability import (
     RecordingTracer,
     TraceEvent,
     export_chrome_trace,
+    iter_chrome_records,
+    stream_chrome_trace,
     to_chrome_trace,
 )
 from repro.platform import QSFP_AURORA
@@ -87,3 +90,43 @@ class TestExport:
         path = export_chrome_trace([], tmp_path / "deep" / "t.json")
         assert path.exists()
         assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestStreaming:
+    def test_streamed_output_matches_batch_export(self, tmp_path):
+        """The generator path writes byte-for-byte the same document
+        structure ``to_chrome_trace`` builds in memory."""
+        events = _traced_run(cycles=30).events
+        path = stream_chrome_trace(events, tmp_path / "t.json")
+        assert path.suffix == ".json"
+        assert json.loads(path.read_text()) == to_chrome_trace(events)
+
+    def test_iter_yields_metadata_before_first_use(self):
+        events = _traced_run().events
+        seen_pids = set()
+        for record in iter_chrome_records(events):
+            if record["ph"] == "M" and record["name"] == "process_name":
+                seen_pids.add(record["pid"])
+            elif record["ph"] != "M":
+                assert record["pid"] in seen_pids
+
+    def test_gzip_appends_suffix_and_roundtrips(self, tmp_path):
+        events = _traced_run(cycles=30).events
+        path = stream_chrome_trace(events, tmp_path / "t.json",
+                                   compress=True)
+        assert path.name == "t.json.gz"
+        with gzip.open(path, "rt") as fh:
+            loaded = json.load(fh)
+        assert loaded == to_chrome_trace(events)
+
+    def test_gzip_suffix_not_doubled(self, tmp_path):
+        path = stream_chrome_trace([], tmp_path / "t.json.gz",
+                                   compress=True)
+        assert path.name == "t.json.gz"
+        with gzip.open(path, "rt") as fh:
+            assert json.load(fh)["traceEvents"] == []
+
+    def test_empty_stream_is_valid_json(self, tmp_path):
+        path = stream_chrome_trace([], tmp_path / "empty.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == {"traceEvents": [], "displayTimeUnit": "ns"}

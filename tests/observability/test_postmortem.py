@@ -69,6 +69,22 @@ class TestPostmortemCapture:
         exc = _deadlock(_fig2a_sim(tracer=tracer, postmortem_events=2))
         assert len(exc.postmortem.events) <= 2
 
+    def test_ring_size_configurable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_RING", "3")
+        sim = _fig2a_sim(tracer=RecordingTracer())
+        assert sim.postmortem_events == 3
+        exc = _deadlock(sim)
+        assert 1 <= len(exc.postmortem.events) <= 3
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_RING", "3")
+        sim = _fig2a_sim(postmortem_events=7)
+        assert sim.postmortem_events == 7
+
+    def test_env_unset_defaults_to_64(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POSTMORTEM_RING", raising=False)
+        assert _fig2a_sim().postmortem_events == 64
+
     def test_untraced_run_still_gets_channel_state(self):
         exc = _deadlock(_fig2a_sim())
         pm = exc.postmortem

@@ -1,0 +1,155 @@
+"""Run registry: archive/load/trajectory, and run comparison."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fireripper import EXACT, FireRipper, PartitionGroup, PartitionSpec
+from repro.platform import QSFP_AURORA
+from repro.targets import make_comb_pair_circuit
+from repro.telemetry import (
+    RunRegistry,
+    Telemetry,
+    compare_runs,
+    config_fingerprint,
+    format_comparison,
+    run_record,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = PartitionSpec(mode=EXACT, groups=[
+        PartitionGroup.make("fpga1", ["right"])])
+    design = FireRipper(spec).compile(make_comb_pair_circuit())
+    sim = design.build_simulation(QSFP_AURORA,
+                                  telemetry=Telemetry(sample_every=25))
+    return sim.run(80)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        assert config_fingerprint({"a": 1, "b": 2}) \
+            == config_fingerprint({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"a": 1}) \
+            != config_fingerprint({"a": 2})
+
+    def test_short_hex(self):
+        fp = config_fingerprint({"a": 1})
+        assert len(fp) == 12
+        int(fp, 16)
+
+
+class TestRegistry:
+    def test_archive_and_load(self, result, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        path = registry.archive(result, name="pair",
+                                backend="inproc",
+                                config={"mode": "exact"})
+        assert path.name == "run.json"
+        record = registry.load(path.parent.name)
+        assert record["format"] == "fireaxe-repro-run"
+        assert record["name"] == "pair"
+        assert record["backend"] == "inproc"
+        assert record["rate_hz"] == result.rate_hz
+        assert record["target_cycles"] == 80
+        assert record["detail"]["telemetry"]["series"]
+        # ids embed name + fingerprint + sequence
+        fp = config_fingerprint({"mode": "exact"})
+        assert record["run_id"] == f"pair-{fp}-0000"
+
+    def test_sequence_numbers_never_collide(self, result, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        ids = [registry.archive(result, name="pair",
+                                config={"mode": "exact"}).parent.name
+               for _ in range(3)]
+        assert len(set(ids)) == 3
+        assert ids[-1].endswith("-0002")
+
+    def test_trajectory_groups_by_fingerprint(self, result, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.archive(result, name="a", config={"mode": "exact"})
+        registry.archive(result, name="b", config={"mode": "exact"})
+        registry.archive(result, name="c", config={"mode": "fast"})
+        fp = config_fingerprint({"mode": "exact"})
+        assert [r["name"] for r in registry.trajectory(fp)] == ["a", "b"]
+        assert len(registry.list_runs()) == 3
+
+    def test_load_rejects_junk(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        with pytest.raises(ReproError):
+            registry.load("no-such-run")
+        bogus = tmp_path / "runs" / "x" / "run.json"
+        bogus.parent.mkdir(parents=True)
+        bogus.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ReproError):
+            registry.load("x")
+
+    def test_list_runs_skips_unreadable_records(self, result, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.archive(result, name="good", config={})
+        bad = tmp_path / "runs" / "bad" / "run.json"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("{torn")
+        assert [r["name"] for r in registry.list_runs()] == ["good"]
+
+
+def _record(rate_hz, breakdown, cycles=100, run_id="r"):
+    return {
+        "run_id": run_id,
+        "rate_hz": rate_hz,
+        "target_cycles": cycles,
+        "per_partition_cycles": {p: cycles for p in breakdown},
+        "detail": {"fmr_breakdown": breakdown},
+    }
+
+
+class TestComparison:
+    def test_rate_delta_and_attribution(self):
+        base = _record(1000.0, {
+            "fpga1": {"compute": 1.0, "serdes": 2.0, "link_wait": 1.0,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="a")
+        slower = _record(800.0, {
+            "fpga1": {"compute": 1.0, "serdes": 3.5, "link_wait": 1.2,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="b")
+        comparison = compare_runs(base, slower)
+        assert comparison.rate_delta_pct == pytest.approx(-20.0)
+        assert comparison.fmr_delta["fpga1"]["serdes"] \
+            == pytest.approx(1.5)
+        # serdes grew most, cycle-weighted: it owns the regression
+        assert comparison.attribution["serdes"] == pytest.approx(150.0)
+        assert comparison.dominant_component == "serdes"
+
+    def test_dominant_component_follows_direction(self):
+        base = _record(800.0, {
+            "fpga1": {"compute": 1.0, "serdes": 3.0, "link_wait": 1.0,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="a")
+        faster = _record(1000.0, {
+            "fpga1": {"compute": 1.0, "serdes": 1.0, "link_wait": 1.1,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="b")
+        comparison = compare_runs(base, faster)
+        # host time shrank: the dominant component is the biggest saver
+        assert comparison.dominant_component == "serdes"
+
+    def test_identical_runs_diff_to_zero(self, result, tmp_path):
+        record = run_record(result, name="pair", config={"x": 1})
+        comparison = compare_runs(record, record)
+        assert comparison.rate_delta_pct == 0.0
+        assert all(v == 0.0
+                   for deltas in comparison.fmr_delta.values()
+                   for v in deltas.values())
+
+    def test_format_names_cause(self):
+        base = _record(1000.0, {
+            "fpga1": {"compute": 1.0, "serdes": 2.0, "link_wait": 1.0,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="a")
+        slower = _record(900.0, {
+            "fpga1": {"compute": 1.0, "serdes": 2.8, "link_wait": 1.0,
+                      "credit_stall": 0.0, "sync": 0.0}}, run_id="b")
+        text = format_comparison(compare_runs(base, slower))
+        assert "compare a -> b" in text
+        assert "(-10.0%)" in text
+        assert "dominant component: serdes" in text

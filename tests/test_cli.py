@@ -128,6 +128,20 @@ class TestTrace:
         assert rc == 0
         assert "kept 10 of" in stdout
 
+    def test_gzip_writes_compressed_trace(self, circuit_file,
+                                          tmp_path, capsys):
+        import gzip
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", circuit_file, "--extract", "right",
+                   "--cycles", "25", "--gzip", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "trace.json.gz" in stdout
+        with gzip.open(tmp_path / "trace.json.gz", "rt") as fh:
+            assert json.load(fh)["traceEvents"]
+
 
 class TestProfile:
     def test_prints_breakdown_and_bottleneck(self, circuit_file, capsys):
@@ -138,6 +152,82 @@ class TestProfile:
         assert "FMR breakdown" in out
         assert "link_wait" in out
         assert "bottleneck:" in out
+
+
+class TestTelemetryCLI:
+    def test_simulate_metrics_reports_samples(self, circuit_file,
+                                              capsys):
+        rc = main(["simulate", circuit_file, "--extract", "right",
+                   "--cycles", "60", "--metrics", "20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sample point(s) across 2 partition(s)" in out
+        assert "every 20 cycles" in out
+
+    def test_simulate_archive_then_compare(self, circuit_file,
+                                           tmp_path, capsys):
+        runs = tmp_path / "runs"
+        for _ in range(2):
+            rc = main(["simulate", circuit_file, "--extract", "right",
+                       "--cycles", "40", "--archive", "pair",
+                       "--runs-dir", str(runs)])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "archived run:" in out
+        ids = sorted(p.name for p in runs.iterdir())
+        assert len(ids) == 2
+        assert ids[0].startswith("pair-")
+
+        rc = main(["compare", ids[0], ids[1],
+                   "--runs-dir", str(runs)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # same config, same backend: identical modelled runs
+        assert f"compare {ids[0]} -> {ids[1]}" in out
+        assert "(+0.0%)" in out
+
+    def test_simulate_live_then_watch_once(self, circuit_file,
+                                           tmp_path, capsys):
+        status = tmp_path / "live.json"
+        rc = main(["simulate", circuit_file, "--extract", "right",
+                   "--cycles", "60", "--live", str(status)])
+        assert rc == 0
+        rc = main(["watch", str(status), "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cycle 60 / 60 (100.0%)" in out
+        assert "done" in out
+
+    def test_watch_missing_status_errors(self, tmp_path, capsys):
+        rc = main(["watch", str(tmp_path / "nope.json"), "--once"])
+        assert rc == 1
+        assert "no status" in capsys.readouterr().err
+
+    def test_regress_update_then_gate(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        rc = main(["regress", "--results-dir", str(results),
+                   "--update"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baseline updated" in out
+        assert (results / "BENCH_rates.json").exists()
+
+        rc = main(["regress", "--results-dir", str(results)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "regression gate: OK" in out
+
+    def test_regress_fails_on_injected_slowdown(self, tmp_path,
+                                                capsys):
+        results = tmp_path / "results"
+        assert main(["regress", "--results-dir", str(results),
+                     "--update"]) == 0
+        capsys.readouterr()
+        rc = main(["regress", "--results-dir", str(results),
+                   "--inject-slowdown", "0.15"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSIONS" in out
 
 
 class TestAutoPartition:

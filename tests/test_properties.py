@@ -384,3 +384,69 @@ def test_parallel_checkpoint_resumes_in_process(cfg):
     r2, log2 = resume(parallel_state)
     assert r2.detail == r1.detail
     assert log2 == log1
+
+
+def _multi_sim_telemetry(cfg, sample_every=4):
+    from repro.telemetry import Telemetry
+    return _multi_design_mode(cfg, EXACT).build_simulation(
+        QSFP_AURORA, record_outputs=True,
+        sources={("base", "io_in"): _stim_source(cfg)},
+        telemetry=Telemetry(sample_every=sample_every))
+
+
+@given(cfg=multi_spec)
+@settings(max_examples=10, deadline=None)
+def test_telemetry_series_bit_identical_across_backends(cfg):
+    """The telemetry contract: with sampling on, the metric series the
+    process backend's workers ship home merges into the *same bits* as
+    the in-process loop's — every sample point, every instrument, and
+    therefore the whole result detail, on random topologies."""
+    import json
+
+    from repro.parallel import ProcessBackend, fork_available
+    if not fork_available():  # pragma: no cover - linux CI always has fork
+        return
+    cycles = 12
+    s1 = _multi_sim_telemetry(cfg)
+    r1 = s1.run(cycles, backend="inproc")
+    s2 = _multi_sim_telemetry(cfg)
+    r2 = ProcessBackend().run(s2, cycles)
+    assert r1.detail["telemetry"]["series"]  # sampling actually fired
+    assert json.dumps(r2.detail, sort_keys=True) \
+        == json.dumps(r1.detail, sort_keys=True)
+
+
+@given(cfg=multi_spec)
+@settings(max_examples=10, deadline=None)
+def test_telemetry_survives_checkpoint_roundtrip(cfg):
+    """Telemetry is part of simulation state: a checkpoint carries the
+    sampled series through a JSON serialization round trip losslessly —
+    a resume keeps the pre-checkpoint prefix bit-for-bit, continues
+    sampling past it, and two independent resumes from the serialized
+    state agree on everything."""
+    import copy
+    import json
+
+    from repro.reliability import capture_state, restore_state
+    first = _multi_sim_telemetry(cfg)
+    first.run(7, backend="inproc")
+    prefix = copy.deepcopy(first.telemetry.sampler.series)
+    raw_state = capture_state(first)
+    state = json.loads(json.dumps(raw_state))
+    assert state == raw_state  # nothing in a checkpoint defies JSON
+    assert "telemetry" in state
+
+    def resume(snapshot):
+        sim = _multi_sim_telemetry(cfg)
+        restore_state(sim, snapshot)
+        return sim.run(14, backend="inproc")
+
+    r1, r2 = resume(state), resume(json.loads(json.dumps(state)))
+    assert r1.detail == r2.detail
+    series = r1.detail["telemetry"]["series"]
+    for part, points in prefix.items():
+        # restored series keeps the pre-checkpoint samples bit-for-bit
+        assert [list(p) for p in points] \
+            == series[part][:len(points)], part
+    # and sampling resumed after the restore
+    assert any(points[-1][0] > 7 for points in series.values())
