@@ -86,7 +86,7 @@ def _frame(k):
     """One realistic effect frame: a token delivery plus a credit."""
     return EffectFrame(
         "peer", k,
-        [(0, ("base", "in"), {"bits": k & 0xFFFF, "valid": 1},
+        [(0, ("base", "in"), (k & 0xFFFF) | (1 << 16),
           1000.0 * k, 64.0)],
         [(("base", "in"), 1000.0 * k)])
 
@@ -231,4 +231,192 @@ def test_multi_partition_sweep_speedup_with_jobs():
     assert effects >= messages  # every message earns its syscall
     if cores >= 2 and JOBS >= 2:
         assert speedup > 1.0, payload
+    assert mp.active_children() == []
+
+
+# -- token plane --------------------------------------------------------------
+#
+# Measured numbers land in ``results/BENCH_token_plane.json``; the
+# ``bench-tokenplane`` CI job feeds them to ``repro regress``.  Three
+# claims are pinned:
+#
+# * the packed codec moves tokens >= 5x faster than dict tokens did,
+# * the shared-memory ring moves wire records >= 2x faster than a pipe,
+# * all three backends produce bit-identical ``SimulationResult.detail``.
+
+import pickle
+from collections import deque
+
+from repro.libdn import ChannelSpec, codec_for
+from repro.libdn.codec import repack, repack_plan
+from repro.parallel import ShmRing, shm_available
+
+TOKENS = 100_000
+RECORDS = 20_000
+RECORD_BYTES = 120
+
+
+def _write_token_plane(payload):
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    path = RESULTS / "BENCH_token_plane.json"
+    merged = json.loads(path.read_text()) if path.exists() else {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+def _hop_times(n_ports, width):
+    """Seconds to move TOKENS tokens across one cross-partition hop —
+    enqueue, the link's port rename, wire serialization, dequeue at the
+    peer — on the dict plane vs the packed plane.  The consume-side
+    env writes are excluded: both planes do identical per-port work
+    there; the codec replaced the *movement*."""
+    spec = ChannelSpec.make(
+        "io", [(f"io_{i}", width) for i in range(n_ports)])
+    dst_spec = ChannelSpec.make(
+        "in", [(f"p_{i}", width) for i in range(n_ports)])
+    codec, dst_codec = codec_for(spec), codec_for(dst_spec)
+    rename = {f"io_{i}": f"p_{i}" for i in range(n_ports)}
+    plan = repack_plan(codec, dst_codec, rename)
+    token = {f"io_{i}": (0xABCD1234 * (i + 1)) & ((1 << width) - 1)
+             for i in range(n_ports)}
+    word = codec.encode(token)
+    q1, q2 = deque(), deque()
+
+    def dict_plane():
+        for _ in range(TOKENS):
+            q1.append(dict(token))
+            t = q1.popleft()
+            mapped = {rename.get(k, k): v for k, v in t.items()}
+            wire = pickle.dumps(mapped)
+            q2.append(dict(pickle.loads(wire)))
+            q2.popleft()
+
+    def packed_plane():
+        nbytes = dst_codec.nbytes
+        for _ in range(TOKENS):
+            q1.append(word)
+            w = q1.popleft()
+            mapped = repack(w, plan)
+            wire = mapped.to_bytes(nbytes, "little")
+            q2.append(int.from_bytes(wire, "little"))
+            q2.popleft()
+
+    return _timed(dict_plane), _timed(packed_plane)
+
+
+def test_token_plane_packed_codec_beats_dict_tokens():
+    results = {}
+    for n_ports, width in [(3, 32), (8, 32), (16, 32)]:
+        dict_s, packed_s = _hop_times(n_ports, width)
+        results[f"{n_ports}x{width}"] = {
+            "dict_s": dict_s,
+            "packed_s": packed_s,
+            "speedup": dict_s / packed_s,
+        }
+    worst = min(r["speedup"] for r in results.values())
+    payload = {
+        "tokens_per_hop_run": TOKENS,
+        "codec_hops": results,
+        "packed_codec_speedup": worst,
+    }
+    _write_token_plane(payload)
+    for name, r in results.items():
+        print(f"\ncodec hop {name}: dict {r['dict_s']:.3f}s vs packed "
+              f"{r['packed_s']:.3f}s ({r['speedup']:.1f}x)")
+    assert worst >= 5.0, payload
+
+
+def _drain_pipe_bytes(conn, n):
+    for _ in range(n):
+        conn.recv_bytes()
+    conn.send(("done", n))
+
+
+def _ship_pipe_bytes():
+    ctx = mp.get_context("fork")
+    ours, theirs = ctx.Pipe()
+    child = ctx.Process(target=_drain_pipe_bytes,
+                        args=(theirs, RECORDS), daemon=True)
+    child.start()
+    theirs.close()
+    payload = bytes(RECORD_BYTES)
+    t0 = time.perf_counter()
+    for _ in range(RECORDS):
+        ours.send_bytes(payload)
+    assert ours.recv()[1] == RECORDS
+    elapsed = time.perf_counter() - t0
+    child.join(5.0)
+    ours.close()
+    return elapsed
+
+
+def _drain_ring(ring, n, conn):
+    got = 0
+    while got < n:
+        got += len(ring.read_all())
+    conn.send(("done", got))
+
+
+def _ship_ring():
+    ctx = mp.get_context("fork")
+    ring = ShmRing.create(1 << 20)
+    ours, theirs = ctx.Pipe()
+    child = ctx.Process(target=_drain_ring,
+                        args=(ring, RECORDS, theirs), daemon=True)
+    child.start()
+    theirs.close()
+    payload = bytes(RECORD_BYTES)
+    t0 = time.perf_counter()
+    wrote = 0
+    while wrote < RECORDS:
+        if ring.try_write(payload):
+            wrote += 1
+    assert ours.recv()[1] == RECORDS
+    elapsed = time.perf_counter() - t0
+    child.join(5.0)
+    ours.close()
+    ring.close()
+    ring.unlink()
+    return elapsed
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="multiprocessing.shared_memory missing")
+def test_token_plane_shm_ring_beats_pipe_wire():
+    """Identical packed records, two carriers: an OS pipe pays two
+    syscalls plus two kernel copies per record; the ring pays one
+    user-space copy each side."""
+    pipe_s = min(_ship_pipe_bytes() for _ in range(5))
+    shm_s = min(_ship_ring() for _ in range(5))
+    speedup = pipe_s / shm_s
+    payload = {
+        "wire_records": RECORDS,
+        "wire_record_bytes": RECORD_BYTES,
+        "wire_pipe_s": pipe_s,
+        "wire_shm_s": shm_s,
+        "shm_vs_pipe_speedup": speedup,
+    }
+    _write_token_plane(payload)
+    print(f"\nwire records: pipe {pipe_s:.3f}s vs shm ring "
+          f"{shm_s:.3f}s ({speedup:.2f}x)")
+    assert speedup >= 2.0, payload
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="multiprocessing.shared_memory missing")
+def test_token_plane_three_way_bit_identity():
+    design = _design(2)
+    r_inproc = _build(design).run(CYCLES, backend="inproc")
+    r_process = ProcessBackend().run(_build(design), CYCLES)
+    r_shm = ProcessBackend(transport="shm").run(_build(design), CYCLES)
+    identical = (r_inproc.detail == r_process.detail == r_shm.detail)
+    payload = {
+        "identity_partitions": 3,
+        "identity_cycles": CYCLES,
+        "detail_bit_identical": identical,
+    }
+    _write_token_plane(payload)
+    print(f"\nthree-way detail bit-identity over {CYCLES} cycles: "
+          f"{identical}")
+    assert identical
     assert mp.active_children() == []

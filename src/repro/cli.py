@@ -395,10 +395,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sim.add_argument("--until", metavar="SIGNAL",
                        help="stop when this base output reads 1")
     p_sim.add_argument("--backend",
-                       choices=["auto", "inproc", "process"],
+                       choices=["auto", "inproc", "process",
+                                "process-shm"],
                        default="auto",
                        help="execution engine: 'process' runs one OS "
-                            "worker per partition (default: auto, "
+                            "worker per partition; 'process-shm' "
+                            "additionally moves token frames over "
+                            "shared-memory rings (default: auto, "
                             "honouring REPRO_BACKEND)")
     p_sim.add_argument("--metrics", type=int, default=0, metavar="N",
                        help="sample a deterministic metric time-series "

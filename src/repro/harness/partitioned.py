@@ -39,8 +39,9 @@ from typing import (
 )
 
 from ..errors import DeadlockError, SimulationError, TransportError
+from ..libdn.codec import INCOMPATIBLE, TokenCodec, repack, repack_plan
 from ..libdn.fame5 import FAME5Host
-from ..libdn.token import Token
+from ..libdn.token import Channel, Token
 from ..libdn.wrapper import LIBDNHost
 from ..observability import profile as _profile
 from ..observability.postmortem import DeadlockPostmortem
@@ -60,19 +61,35 @@ class TokenSource:
     def next_token(self, cycle: int) -> Token:
         raise NotImplementedError
 
+    def next_word(self, cycle: int, codec: TokenCodec) -> int:
+        """Packed variant used by the harness hot path; the default
+        encodes :meth:`next_token` once — no extra dict copies."""
+        return codec.encode(self.next_token(cycle))
+
 
 class ConstantSource(TokenSource):
-    """Always supplies the same token."""
+    """Always supplies the same token (encoded once per channel layout,
+    not copied per cycle)."""
 
     def __init__(self, token: Token):
         self.token = dict(token)
+        self._codec: Optional[TokenCodec] = None
+        self._word = 0
 
     def next_token(self, cycle: int) -> Token:
         return dict(self.token)
 
+    def next_word(self, cycle: int, codec: TokenCodec) -> int:
+        if codec is not self._codec:
+            self._word = codec.encode(self.token)
+            self._codec = codec
+        return self._word
+
 
 class FunctionSource(TokenSource):
-    """Supplies ``fn(cycle) -> Token``."""
+    """Supplies ``fn(cycle) -> Token``.  The callable builds one fresh
+    dict per cycle by construction; the default :meth:`next_word`
+    encodes it in place, so no caller-side copies are added."""
 
     def __init__(self, fn: Callable[[int], Token]):
         self.fn = fn
@@ -218,6 +235,65 @@ class Link:
             depart_ns + self.transport.wire_ns(width_bits), token, True)
 
 
+class _OutOp:
+    """Precompiled per-output-channel op: every static fact the hot loop
+    used to re-derive per token (resolved link, serdes/occupancy/wire
+    times, dependency arrival keys, peer repack plan)."""
+
+    __slots__ = ("full", "codec", "width", "dep_keys", "link", "switch",
+                 "clean", "tx_ns", "rx_ns", "occupancy_ns", "wire_ns",
+                 "repack", "dst_codec", "dst_part_name")
+
+    def __init__(self, full: str, codec: TokenCodec,
+                 dep_keys: Tuple[Tuple[str, str], ...]):
+        self.full = full
+        self.codec = codec
+        self.width = codec.width
+        self.dep_keys = dep_keys
+        self.link: Optional[Link] = None
+        self.switch = None
+        self.clean = True
+        self.tx_ns = 0.0
+        self.rx_ns = 0.0
+        self.occupancy_ns = 0.0
+        self.wire_ns = 0.0
+        self.repack = None
+        self.dst_codec: Optional[TokenCodec] = None
+        self.dst_part_name = ""
+
+
+class _UnitPlan:
+    """Precompiled schedule slot for one LI-BDN unit."""
+
+    __slots__ = ("part", "prefix", "unit", "out_ops", "in_keys",
+                 "consume_keys", "host_cycle_ns", "batchable",
+                 "source_ops")
+
+    def __init__(self, part: Partition, prefix: str, unit: LIBDNHost):
+        self.part = part
+        self.prefix = prefix
+        self.unit = unit
+        self.out_ops: Dict[str, _OutOp] = {}
+        self.in_keys: Tuple[Tuple[str, str], ...] = ()
+        self.consume_keys: Tuple[Tuple[str, str], ...] = ()
+        self.host_cycle_ns = part.host_cycle_ns
+        self.batchable = False
+        #: (key, channel, source, unit) for this unit's source-fed inputs
+        self.source_ops: List[tuple] = []
+
+
+class _PartPlan:
+    """Per-partition slice of the compiled wavefront schedule."""
+
+    __slots__ = ("part", "unit_plans", "source_ops")
+
+    def __init__(self, part: Partition):
+        self.part = part
+        self.unit_plans: List[_UnitPlan] = []
+        #: flattened source ops in the legacy feeding order
+        self.source_ops: List[tuple] = []
+
+
 class PartitionedSimulation:
     """Co-simulates partitions over links with the timing overlay."""
 
@@ -281,8 +357,28 @@ class PartitionedSimulation:
         #: deliveries and consume-time records are routed through it
         #: instead of mutating peer-partition state directly
         self.router = None
-        #: backend that executed the last ``run`` ("inproc" / "process")
+        #: backend that executed the last ``run``
+        #: ("inproc" / "process" / "process-shm")
         self.last_run_backend: Optional[str] = None
+        #: static resolve table: (part, full channel name) -> Channel
+        self._in_channel_by_key: Dict[Tuple[str, str], Channel] = {}
+        self._out_channel_by_key: Dict[Tuple[str, str], Channel] = {}
+        for part in self.partitions.values():
+            for prefix, unit in part.units:
+                for base, ch in unit.in_channels.items():
+                    self._in_channel_by_key[(part.name, prefix + base)] = ch
+                for base, ch in unit.out_channels.items():
+                    self._out_channel_by_key[(part.name, prefix + base)] = ch
+        #: precompiled wavefront schedule; rebuilt at every run() entry so
+        #: post-construction hook swaps (harden_links, inject_faults) are
+        #: honoured, then shared by the inproc loop and process workers
+        self._schedule: Optional[List[_PartPlan]] = None
+        self._plan_by_part: Dict[str, _PartPlan] = {}
+        self._unit_plan_index: Dict[Tuple[str, str], _UnitPlan] = {}
+        #: whether isolated fast-mode partitions may batch several target
+        #: cycles per scheduling pass (set per run; off under telemetry
+        #: sampling and stop callbacks, which observe pass granularity)
+        self._batching = False
         self._install_tracer()
         self._validate(seed_boundary)
         self.total_tokens = 0
@@ -329,13 +425,8 @@ class PartitionedSimulation:
                     )
         if seed_boundary:
             for link in self.links:
-                self._deliver(link.dst, self._zero_token(link.dst), 0.0)
-
-    def _zero_token(self, dst: Tuple[str, str]) -> Token:
-        part = self.partitions[dst[0]]
-        prefix, unit, base = self._resolve(part, dst[1], "in")
-        spec = unit.in_channels[base].spec
-        return {name: 0 for name in spec.port_names}
+                # the all-zero token packs to the zero word
+                self._deliver_word(link.dst, 0, 0.0)
 
     @staticmethod
     def _resolve(part: Partition, chan: str, direction: str):
@@ -353,49 +444,41 @@ class PartitionedSimulation:
 
     def _deliver(self, dst: Tuple[str, str], token: Token,
                  arrival_ns: float) -> None:
-        part = self.partitions[dst[0]]
-        _, unit, base = self._resolve(part, dst[1], "in")
-        unit.deliver(base, token)
+        self._in_channel_by_key[dst].put(token)
+        self._arrivals.setdefault(dst, deque()).append(arrival_ns)
+
+    def _deliver_word(self, dst: Tuple[str, str], word: int,
+                      arrival_ns: float) -> None:
+        self._in_channel_by_key[dst].put_word(word)
         self._arrivals.setdefault(dst, deque()).append(arrival_ns)
 
     def _feed_sources(self, part: Partition) -> None:
-        for prefix, unit in part.units:
-            for base, channel in unit.in_channels.items():
-                key = (part.name, prefix + base)
-                source = self.sources.get(key)
-                if source is not None and not channel.has_token():
-                    token = source.next_token(unit.target_cycle)
-                    self._deliver(key, token, 0.0)
+        """Fill every empty source-fed input channel of ``part`` with the
+        next token (packed straight into the channel queue)."""
+        self.ensure_schedule()
+        arrivals = self._arrivals
+        for key, channel, source, unit in \
+                self._plan_by_part[part.name].source_ops:
+            if not channel.queue:
+                channel.put_word(
+                    source.next_word(unit.target_cycle, channel.codec))
+                queue = arrivals.get(key)
+                if queue is None:
+                    queue = arrivals[key] = deque()
+                queue.append(0.0)
 
-    def _deliver_link(self, link: Link, spec, res: TransmitResult) -> None:
-        """Land one delivered token at a link's destination channel.
-
-        Receive-side deserialization is priced at the destination's host
-        clock; the in-flight depth histogram counts the receiver's queue
-        right after the token lands.  When a router is installed (process
-        backend) and the destination partition lives in another worker,
-        the mapped token is handed to the router instead — the receiving
-        worker performs the exact same accounting on its side.
-        """
-        dst_part = self.partitions[link.dst[0]]
-        rx_ns = (link.transport.serdes_cycles(spec.width)
-                 * dst_part.host_cycle_ns)
-        arrive_ns = res.arrive_ns + rx_ns
-        if self.router is not None \
-                and not self.router.is_local(link.dst[0]):
-            self.router.deliver_remote(
-                link, link.map_token(res.token), arrive_ns, rx_ns)
-            return
-        self.apply_link_delivery(link, link.map_token(res.token),
-                                 arrive_ns, rx_ns)
-
-    def apply_link_delivery(self, link: Link, token: Token,
+    def apply_link_delivery(self, link: Link, word: int,
                             arrive_ns: float, rx_ns: float) -> None:
-        """Receiver-side half of a link transfer: enqueue the token and
-        account the in-flight depth (also called by the process backend
-        when applying a peer worker's effect frame)."""
-        self._deliver(link.dst, token, arrive_ns)
-        depth = len(self._arrivals[link.dst])
+        """Receiver-side half of a link transfer: enqueue the packed
+        token word and account the in-flight depth (also called by the
+        process backend when applying a peer worker's effect frame)."""
+        dst = link.dst
+        self._in_channel_by_key[dst].put_word(word)
+        queue = self._arrivals.get(dst)
+        if queue is None:
+            queue = self._arrivals[dst] = deque()
+        queue.append(arrive_ns)
+        depth = len(queue)
         link.depth_hist[depth] = link.depth_hist.get(depth, 0) + 1
         if self._metrics_on:
             registry = self.telemetry.registry
@@ -423,140 +506,304 @@ class PartitionedSimulation:
         queue = self._arrivals.get(key)
         return queue.popleft() if queue else 0.0
 
+    # -- schedule compilation ---------------------------------------------------
+
+    def ensure_schedule(self) -> List[_PartPlan]:
+        """Compile (or return) the precompiled wavefront schedule."""
+        if self._schedule is None:
+            self._compile_schedule()
+        return self._schedule
+
+    def invalidate_schedule(self) -> None:
+        """Drop the compiled schedule (rebuilt on next use); call after
+        swapping link transports or hooks outside ``run``."""
+        self._schedule = None
+
+    def _compile_schedule(self) -> None:
+        """Resolve the static (unit, channel, link, source) topology into
+        flat per-unit op lists.  Everything derived here is a pure
+        function of the topology and the currently attached transports
+        and hooks, so the per-pass loop only touches preresolved
+        objects and constants.  ``run`` recompiles at every entry, which
+        keeps post-construction hook swaps (``harden_links``,
+        ``inject_faults``) honoured at O(channels) cost."""
+        schedule: List[_PartPlan] = []
+        self._plan_by_part = {}
+        self._unit_plan_index = {}
+        linked_parts = set()
+        for link in self.links:
+            linked_parts.add(link.src[0])
+            linked_parts.add(link.dst[0])
+        for part in self.partitions.values():
+            pplan = _PartPlan(part)
+            for prefix, unit in part.units:
+                up = _UnitPlan(part, prefix, unit)
+                for base, ch in unit.in_channels.items():
+                    key = (part.name, prefix + base)
+                    source = self.sources.get(key)
+                    if source is not None:
+                        up.source_ops.append((key, ch, source, unit))
+                up.in_keys = tuple(
+                    (part.name, prefix + base) for base in unit.in_channels)
+                up.consume_keys = tuple(
+                    key for key in up.in_keys
+                    if key in self._dst_link_count)
+                for base, ch in unit.out_channels.items():
+                    full = prefix + base
+                    op = _OutOp(full, ch.codec, tuple(
+                        (part.name, prefix + d)
+                        for d in sorted(ch.spec.deps)))
+                    link = self._link_by_src.get((part.name, full))
+                    if link is not None:
+                        dst_part = self.partitions[link.dst[0]]
+                        dst_ch = self._in_channel_by_key[link.dst]
+                        hooks = link.hooks
+                        op.link = link
+                        op.switch = hooks.switch
+                        op.clean = (hooks.reliability is None
+                                    and hooks.injector is None)
+                        op.tx_ns = (link.transport.serdes_cycles(op.width)
+                                    * part.host_cycle_ns)
+                        op.rx_ns = (link.transport.serdes_cycles(op.width)
+                                    * dst_part.host_cycle_ns)
+                        op.occupancy_ns = (
+                            link.transport.per_token_overhead_ns
+                            + op.width / link.transport.bandwidth_gbps)
+                        op.wire_ns = link.transport.wire_ns(op.width)
+                        op.repack = repack_plan(
+                            ch.codec, dst_ch.codec, link.rename)
+                        op.dst_codec = dst_ch.codec
+                        op.dst_part_name = link.dst[0]
+                    up.out_ops[base] = op
+                # isolated fast-mode partitions (all inputs source-fed,
+                # all outputs bridge taps, single unit) advance with no
+                # peer interaction at all: they may batch several target
+                # cycles per scheduling pass without changing any
+                # observable (credit exactness needs links; trace order
+                # needs multiple units)
+                up.batchable = (part.name not in linked_parts
+                                and len(part.units) == 1)
+                pplan.unit_plans.append(up)
+                pplan.source_ops.extend(up.source_ops)
+                self._unit_plan_index[(part.name, prefix)] = up
+            schedule.append(pplan)
+            self._plan_by_part[part.name] = pplan
+        self._schedule = schedule
+
     # -- main loop ----------------------------------------------------------------
+
+    #: isolated-partition batching cap per scheduling pass: bounds how
+    #: long a worker can go without reporting progress to the supervisor
+    _BATCH_LIMIT = 4096
 
     def _process_unit(self, part: Partition, prefix: str,
                       unit: LIBDNHost) -> bool:
+        """Compatibility entry: one unbatched pass over one unit."""
+        self.ensure_schedule()
+        return self._run_unit(self._unit_plan_index[(part.name, prefix)],
+                              None)
+
+    def _run_unit(self, up: _UnitPlan,
+                  target_cycles: Optional[int]) -> bool:
+        part = up.part
+        unit = up.unit
         progress = False
         spans = part.hooks.spans
-        fired = unit.try_fire_outputs()
-        if fired:
-            progress = True
-        for base, token in unit.drain_outbox():
-            full = prefix + base
-            spec = unit.out_channels[base].spec
-            dep_arrival = max(
-                (self._head_arrival((part.name, prefix + d))
-                 for d in spec.deps), default=0.0)
-            # time the host idles before it can even look at this token:
-            # waiting for dependent inputs is link-wait, waiting for
-            # channel credit beyond that is a credit stall
-            dep_start = max(part.busy_until, dep_arrival)
-            spans.link_wait_ns += dep_start - part.busy_until
-            start = dep_start
-            link = self._link_by_src.get((part.name, full))
-            if link is not None and self.channel_capacity is not None:
-                consumed = self._consume_times.get(link.dst, deque())
-                credit_index = link.tokens - self.channel_capacity
-                if credit_index >= 0:
-                    rel = credit_index - self._consume_base.get(
-                        link.dst, 0)
-                    if 0 <= rel < len(consumed):
-                        start = max(start, consumed[rel])
-                    elif rel >= len(consumed) and consumed:
-                        start = max(start, consumed[-1])
-                    # future credit indices for this link only grow, so
-                    # once it is the sole feeder of dst every entry below
-                    # ``rel`` is dead — trim, keeping the newest entry
-                    # for the receiver-behind fallback above.
-                    if self._dst_link_count.get(link.dst) == 1 \
-                            and rel > 0 and consumed:
-                        drop = min(rel, len(consumed) - 1)
-                        for _ in range(drop):
-                            consumed.popleft()
-                        self._consume_base[link.dst] = \
-                            self._consume_base.get(link.dst, 0) + drop
-            credit_wait = start - dep_start
-            spans.credit_stall_ns += credit_wait
-            if credit_wait and self._metrics_on:
-                self.telemetry.registry.counter(
-                    "credit_stalls", part.name).inc()
-            if credit_wait and self._trace:
-                self.tracer.emit(TraceEvent(
-                    "credit_stall", ts_ns=dep_start, dur_ns=credit_wait,
-                    part=part.name, scope=full,
-                    args={"link": link.key, "tokens": link.tokens}))
-            if link is None:
-                # external observation channel (a FireSim bridge tap):
-                # drained by wide DMA batches, effectively free
-                part.busy_until = start
-                if self._metrics_on:
+        arrivals = self._arrivals
+        batched = 0
+        while True:
+            if unit.try_fire_outputs():
+                progress = True
+            for base, word in unit.drain_outbox_words():
+                op = up.out_ops[base]
+                dep_arrival = 0.0
+                for key in op.dep_keys:
+                    queue = arrivals.get(key)
+                    if queue and queue[0] > dep_arrival:
+                        dep_arrival = queue[0]
+                # time the host idles before it can even look at this
+                # token: waiting for dependent inputs is link-wait,
+                # waiting for channel credit beyond that is a credit
+                # stall
+                dep_start = max(part.busy_until, dep_arrival)
+                spans.link_wait_ns += dep_start - part.busy_until
+                start = dep_start
+                link = op.link
+                if link is not None and self.channel_capacity is not None:
+                    consumed = self._consume_times.get(link.dst, deque())
+                    credit_index = link.tokens - self.channel_capacity
+                    if credit_index >= 0:
+                        rel = credit_index - self._consume_base.get(
+                            link.dst, 0)
+                        if 0 <= rel < len(consumed):
+                            start = max(start, consumed[rel])
+                        elif rel >= len(consumed) and consumed:
+                            start = max(start, consumed[-1])
+                        # future credit indices for this link only grow,
+                        # so once it is the sole feeder of dst every
+                        # entry below ``rel`` is dead — trim, keeping the
+                        # newest entry for the receiver-behind fallback
+                        # above.
+                        if self._dst_link_count.get(link.dst) == 1 \
+                                and rel > 0 and consumed:
+                            drop = min(rel, len(consumed) - 1)
+                            for _ in range(drop):
+                                consumed.popleft()
+                            self._consume_base[link.dst] = \
+                                self._consume_base.get(link.dst, 0) + drop
+                credit_wait = start - dep_start
+                spans.credit_stall_ns += credit_wait
+                if credit_wait and self._metrics_on:
                     self.telemetry.registry.counter(
-                        "bridge_outputs", part.name).inc()
-                if self.record_outputs:
-                    self.output_log.setdefault(
-                        (part.name, full), []).append(token)
+                        "credit_stalls", part.name).inc()
+                if credit_wait and self._trace:
+                    self.tracer.emit(TraceEvent(
+                        "credit_stall", ts_ns=dep_start,
+                        dur_ns=credit_wait,
+                        part=part.name, scope=op.full,
+                        args={"link": link.key, "tokens": link.tokens}))
+                if link is None:
+                    # external observation channel (a FireSim bridge
+                    # tap): drained by wide DMA batches, effectively free
+                    part.busy_until = start
+                    if self._metrics_on:
+                        self.telemetry.registry.counter(
+                            "bridge_outputs", part.name).inc()
+                    if self.record_outputs:
+                        self.output_log.setdefault(
+                            (part.name, op.full), []).append(
+                                op.codec.decode(word))
+                    if self._trace:
+                        self.tracer.emit(TraceEvent(
+                            "bridge_output", ts_ns=start, part=part.name,
+                            scope=op.full,
+                            args={"cycle": unit.target_cycle}))
+                    continue
+                tx_ns = op.tx_ns
+                spans.serdes_ns += tx_ns
+                end = start + tx_ns
+                part.busy_until = end
+                depart = end if end > link.next_free else link.next_free
+                occupancy = op.occupancy_ns
+                link.next_free = depart + occupancy
+                if op.switch is not None:
+                    # switched Ethernet: contend on the shared backplane
+                    depart = op.switch.traverse(depart, op.width)
+                if op.clean:
+                    # ideal lossless wire: the transmit outcome is fully
+                    # determined by the precompiled constants, and the
+                    # token crosses as a packed word (repacked to the
+                    # peer layout by bit moves when the layouts differ)
+                    arrive_ns = depart + op.wire_ns
+                    delivered = True
+                    retries = 0
+                    retry_delay = 0.0
+                    if op.repack is INCOMPATIBLE:
+                        mapped_word = op.dst_codec.encode(
+                            link.map_token(op.codec.decode(word)))
+                    else:
+                        mapped_word = repack(word, op.repack)
+                else:
+                    # reliability layer / fault injector attached: these
+                    # hooks inspect and may corrupt per-port values, so
+                    # the token crosses the hook path as a dict
+                    res = link.transmit(depart, op.width,
+                                        op.codec.decode(word))
+                    arrive_ns = res.arrive_ns
+                    delivered = res.delivered
+                    retries = res.retries
+                    retry_delay = res.retry_delay_ns
+                    if delivered:
+                        mapped_word = op.dst_codec.encode(
+                            link.map_token(res.token))
+                # retransmissions hold the link busy beyond the clean
+                # occupancy window
+                link.next_free += retry_delay
+                link.busy_ns += occupancy + retry_delay
                 if self._trace:
                     self.tracer.emit(TraceEvent(
-                        "bridge_output", ts_ns=start, part=part.name,
-                        scope=full, args={"cycle": unit.target_cycle}))
-                continue
-            tx_ns = (link.transport.serdes_cycles(spec.width)
-                     * part.host_cycle_ns)
-            spans.serdes_ns += tx_ns
-            end = start + tx_ns
-            part.busy_until = end
-            depart = max(end, link.next_free)
-            occupancy = (link.transport.per_token_overhead_ns
-                         + spec.width / link.transport.bandwidth_gbps)
-            link.next_free = depart + occupancy
-            if link.hooks.switch is not None:
-                # switched Ethernet: contend on the shared backplane
-                depart = link.hooks.switch.traverse(depart, spec.width)
-            res = link.transmit(depart, spec.width, token)
-            # retransmissions hold the link busy beyond the clean
-            # occupancy window
-            link.next_free += res.retry_delay_ns
-            link.busy_ns += occupancy + res.retry_delay_ns
-            if self._trace:
-                self.tracer.emit(TraceEvent(
-                    "token_tx", ts_ns=start, dur_ns=tx_ns,
-                    part=part.name, scope=full,
-                    args={"link": link.key, "width": spec.width,
-                          "serdes_ns": tx_ns,
-                          "wire_ns": link.transport.wire_ns(spec.width),
-                          "occupancy_ns": occupancy,
-                          "queue_wait_ns": depart - end,
-                          "retries": res.retries,
-                          "retry_delay_ns": res.retry_delay_ns}))
-            if res.delivered:
-                self._deliver_link(link, spec, res)
-            else:
-                self.dropped_tokens += 1
-            link.tokens += 1
-            self.total_tokens += 1
-            if self._metrics_on:
-                self.telemetry.registry.counter(
-                    "tokens_tx", part.name).inc()
-        if unit.can_advance():
-            input_ready = 0.0
-            for base in unit.in_channels:
-                arrival = self._pop_arrival((part.name, prefix + base))
-                input_ready = max(input_ready, arrival)
-            start = max(part.busy_until, input_ready)
-            spans.link_wait_ns += start - part.busy_until
-            if self.channel_capacity is not None:
-                for base in unit.in_channels:
-                    key = (part.name, prefix + base)
+                        "token_tx", ts_ns=start, dur_ns=tx_ns,
+                        part=part.name, scope=op.full,
+                        args={"link": link.key, "width": op.width,
+                              "serdes_ns": tx_ns,
+                              "wire_ns": op.wire_ns,
+                              "occupancy_ns": occupancy,
+                              "queue_wait_ns": depart - end,
+                              "retries": retries,
+                              "retry_delay_ns": retry_delay}))
+                if delivered:
+                    # receive-side deserialization is priced at the
+                    # destination's host clock; remote destinations go
+                    # through the router (process backend)
+                    router = self.router
+                    if router is not None \
+                            and not router.is_local(op.dst_part_name):
+                        router.deliver_remote(
+                            link, mapped_word,
+                            arrive_ns + op.rx_ns, op.rx_ns)
+                    else:
+                        self.apply_link_delivery(
+                            link, mapped_word,
+                            arrive_ns + op.rx_ns, op.rx_ns)
+                else:
+                    self.dropped_tokens += 1
+                link.tokens += 1
+                self.total_tokens += 1
+                if self._metrics_on:
+                    self.telemetry.registry.counter(
+                        "tokens_tx", part.name).inc()
+            advanced = False
+            if unit.can_advance():
+                host_cycle_ns = up.host_cycle_ns
+                input_ready = 0.0
+                for key in up.in_keys:
+                    queue = arrivals.get(key)
+                    if queue:
+                        arrival = queue.popleft()
+                        if arrival > input_ready:
+                            input_ready = arrival
+                start = part.busy_until \
+                    if part.busy_until > input_ready else input_ready
+                spans.link_wait_ns += start - part.busy_until
+                if self.channel_capacity is not None:
                     # only link-fed channels are read back by the credit
                     # logic; recording source-fed ones would grow forever
-                    if key in self._dst_link_count:
-                        self._record_consume(
-                            key, start + part.host_cycle_ns)
-            spans.compute_ns += part.host_cycle_ns
-            spans.sync_ns += part.advance_overhead_ns
-            if self._trace:
-                self.tracer.emit(TraceEvent(
-                    "target_cycle", ts_ns=start,
-                    dur_ns=(part.host_cycle_ns
-                            + part.advance_overhead_ns),
-                    part=part.name, scope=prefix + unit.name,
-                    args={"cycle": unit.target_cycle,
-                          "input_wait_ns": start - part.busy_until}))
-            part.busy_until = (start + part.host_cycle_ns
-                               + part.advance_overhead_ns)
-            unit.advance()
-            progress = True
+                    for key in up.consume_keys:
+                        self._record_consume(key, start + host_cycle_ns)
+                spans.compute_ns += host_cycle_ns
+                spans.sync_ns += part.advance_overhead_ns
+                if self._trace:
+                    self.tracer.emit(TraceEvent(
+                        "target_cycle", ts_ns=start,
+                        dur_ns=(host_cycle_ns
+                                + part.advance_overhead_ns),
+                        part=part.name, scope=up.prefix + unit.name,
+                        args={"cycle": unit.target_cycle,
+                              "input_wait_ns": start - part.busy_until}))
+                part.busy_until = (start + host_cycle_ns
+                                   + part.advance_overhead_ns)
+                unit.advance()
+                progress = True
+                advanced = True
+            # isolated fast-mode partitions may run several target
+            # cycles per scheduling pass: no links touch them, so no
+            # observable (timing, spans, output log, arrivals) depends
+            # on the pass boundary
+            if (not advanced or target_cycles is None
+                    or not up.batchable or not self._batching
+                    or unit.target_cycle >= target_cycles):
+                break
+            batched += 1
+            if batched >= self._BATCH_LIMIT:
+                break
+            for key, channel, source, src_unit in up.source_ops:
+                if not channel.queue:
+                    channel.put_word(source.next_word(
+                        src_unit.target_cycle, channel.codec))
+                    queue = arrivals.get(key)
+                    if queue is None:
+                        queue = arrivals[key] = deque()
+                    queue.append(0.0)
         return progress
 
     def run(self, target_cycles: int,
@@ -570,21 +817,25 @@ class PartitionedSimulation:
         ``REPRO_BACKEND`` environment variable (``process`` runs each
         partition in its own OS worker process when the simulation is
         distributable and no ``stop`` callback is given — results are
-        bit-identical either way); ``"process"`` demands the
+        bit-identical either way; ``process-shm`` additionally moves the
+        steady-state token frames over shared-memory rings instead of
+        pickled pipes); ``"process"`` / ``"process-shm"`` demand the
         distributed backend (raising
         :class:`~repro.errors.BackendUnavailableError` /
         :class:`~repro.errors.UnsupportedTopologyError` when it cannot
         run); ``"inproc"`` forces the cooperative single-process loop.
         """
-        if backend in ("process", "proc"):
+        if backend in ("process", "proc", "process-shm", "shm"):
             if stop is not None:
                 raise SimulationError(
                     "the process backend does not support stop "
                     "callbacks (they would need to observe every "
                     "worker's state every pass); use backend='inproc'")
             from ..parallel import ProcessBackend
-            return ProcessBackend().run(self, target_cycles,
-                                        max_passes=max_passes)
+            transport = ("shm" if backend in ("process-shm", "shm")
+                         else "pipe")
+            return ProcessBackend(transport=transport).run(
+                self, target_cycles, max_passes=max_passes)
         if backend == "auto" and stop is None:
             from ..parallel import auto_backend
             chosen = auto_backend(self)
@@ -595,23 +846,28 @@ class PartitionedSimulation:
         if self._metrics_on:
             self.telemetry.target_cycles = max(
                 self.telemetry.target_cycles or 0, target_cycles)
+        # recompile the flat op schedule: post-construction transport or
+        # hook swaps (harden_links, inject_faults) land here
+        self._schedule = None
+        schedule = self.ensure_schedule()
+        self._batching = stop is None and not self._metrics_on
         passes = 0
         while self.frontier_cycle() < target_cycles:
             if stop is not None and stop(self):
                 break
             progress = False
-            for part in self.partitions.values():
-                self._feed_sources(part)
-                for prefix, unit in part.units:
-                    if unit.target_cycle >= target_cycles:
+            for pplan in schedule:
+                self._feed_sources(pplan.part)
+                for up in pplan.unit_plans:
+                    if up.unit.target_cycle >= target_cycles:
                         continue
-                    progress |= self._process_unit(part, prefix, unit)
+                    progress |= self._run_unit(up, target_cycles)
                 if self._metrics_on:
                     # the sampler sees each partition right after its
                     # slot in the pass — the same point the process
                     # backend's worker samples at, which is what makes
                     # the series bit-identical across backends
-                    self.telemetry.on_pass(self, part)
+                    self.telemetry.on_pass(self, pplan.part)
             passes += 1
             if not progress:
                 detail = " ;; ".join(

@@ -88,6 +88,10 @@ class FAME5Host:
         thread, base = self._split(channel)
         self.threads[thread].deliver(base, token)
 
+    def deliver_word(self, channel: str, word: int) -> None:
+        thread, base = self._split(channel)
+        self.threads[thread].deliver_word(base, word)
+
     def seed_inputs(self) -> None:
         for t in self.threads:
             t.seed_inputs()
@@ -97,6 +101,13 @@ class FAME5Host:
         for i, t in enumerate(self.threads):
             out.extend((f"t{i}:{name}", token)
                        for name, token in t.drain_outbox())
+        return out
+
+    def drain_outbox_words(self) -> List[Tuple[str, int]]:
+        out: List[Tuple[str, int]] = []
+        for i, t in enumerate(self.threads):
+            out.extend((f"t{i}:{name}", word)
+                       for name, word in t.drain_outbox_words())
         return out
 
     # -- observability ---------------------------------------------------------

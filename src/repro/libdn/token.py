@@ -4,15 +4,22 @@ A *token* carries one target cycle's worth of values for every port mapped
 to a channel.  Channels are unbounded FIFOs by default (the bounded-ness of
 real LI-BDNs matters for host buffer sizing, which the platform layer
 models separately); a capacity can be set to study backpressure.
+
+Internally a channel queue holds *packed words* — one Python int per
+token, laid out by the spec's :class:`~repro.libdn.codec.TokenCodec` —
+so moving a token is a reference copy, not a dict copy.  The dict API
+(:meth:`Channel.put` / :meth:`Channel.head` / :meth:`Channel.get`)
+encodes/decodes at the boundary; hot paths use the ``*_word`` variants.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from .codec import TokenCodec, codec_for
 
 #: One target cycle's values for a channel: port name -> value.
 Token = Dict[str, int]
@@ -55,12 +62,15 @@ def zeros_token(spec: ChannelSpec) -> Token:
 
 
 class Channel:
-    """FIFO of tokens for one :class:`ChannelSpec`."""
+    """FIFO of packed token words for one :class:`ChannelSpec`."""
+
+    __slots__ = ("spec", "codec", "capacity", "queue", "total_enqueued")
 
     def __init__(self, spec: ChannelSpec, capacity: Optional[int] = None):
         self.spec = spec
+        self.codec: TokenCodec = codec_for(spec)
         self.capacity = capacity
-        self.queue: Deque[Token] = deque()
+        self.queue: Deque[int] = deque()
         self.total_enqueued = 0
 
     @property
@@ -75,12 +85,15 @@ class Channel:
             raise SimulationError(
                 f"channel {self.name!r} overflow (capacity {self.capacity})"
             )
-        missing = set(self.spec.port_names) - set(token)
-        if missing:
+        self.queue.append(self.codec.encode(token))
+        self.total_enqueued += 1
+
+    def put_word(self, word: int) -> None:
+        if self.capacity is not None and len(self.queue) >= self.capacity:
             raise SimulationError(
-                f"channel {self.name!r}: token missing ports {sorted(missing)}"
+                f"channel {self.name!r} overflow (capacity {self.capacity})"
             )
-        self.queue.append(token)
+        self.queue.append(word)
         self.total_enqueued += 1
 
     def has_token(self) -> bool:
@@ -89,9 +102,19 @@ class Channel:
     def head(self) -> Token:
         if not self.queue:
             raise SimulationError(f"channel {self.name!r} is empty")
+        return self.codec.decode(self.queue[0])
+
+    def head_word(self) -> int:
+        if not self.queue:
+            raise SimulationError(f"channel {self.name!r} is empty")
         return self.queue[0]
 
     def get(self) -> Token:
+        if not self.queue:
+            raise SimulationError(f"channel {self.name!r} is empty")
+        return self.codec.decode(self.queue.popleft())
+
+    def get_word(self) -> int:
         if not self.queue:
             raise SimulationError(f"channel {self.name!r} is empty")
         return self.queue.popleft()

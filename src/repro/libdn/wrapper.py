@@ -24,7 +24,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
 from ..rtl.engine import Simulator
-from .token import Channel, ChannelSpec, Token, zeros_token
+from .token import Channel, ChannelSpec, Token
 
 
 class LIBDNHost:
@@ -55,8 +55,8 @@ class LIBDNHost:
                     f"input channels {sorted(unknown)}"
                 )
         self._fired: Dict[str, bool] = {s.name: False for s in out_specs}
-        #: tokens produced this host step, drained by the harness
-        self.outbox: List[Tuple[str, Token]] = []
+        #: packed words produced this host step, drained by the harness
+        self.outbox: List[Tuple[str, int]] = []
         self.target_cycle = 0
         #: trace sink for fire/advance events (null by default); the
         #: owning harness installs its tracer plus a clock reading the
@@ -64,6 +64,25 @@ class LIBDNHost:
         self.tracer: Tracer = NULL_TRACER
         self.trace_clock: Callable[[], float] = lambda: 0.0
         self._validate_ports()
+        # -- precompiled token plans (the specs are frozen, so the bit
+        # layouts and dependency checks never change after construction)
+        # fire plan, one entry per output channel in deterministic
+        # (sorted) fire order: the dep channels to check/poke with their
+        # unpack fields, and the pack fields that build the out word.
+        self._fire_plans = tuple(
+            (name,
+             self.out_channels[name],
+             tuple((self.in_channels[d], self.in_channels[d].codec.fields)
+                   for d in sorted(self.out_channels[name].spec.deps)),
+             self.out_channels[name].codec.fields)
+            for name in sorted(self.out_channels)
+        )
+        # advance plan: every input channel (in spec order) with its
+        # unpack fields, every output channel for the re-arm sweep.
+        self._in_plans = tuple(
+            (ch, ch.codec.fields) for ch in self.in_channels.values()
+        )
+        self._out_channel_list = tuple(self.out_channels.values())
 
     def attach_tracer(self, tracer: Tracer,
                       clock: Optional[Callable[[], float]] = None) -> None:
@@ -95,15 +114,26 @@ class LIBDNHost:
 
     def deliver(self, channel: str, token: Token) -> None:
         """Enqueue a token arriving on an input channel."""
-        self.in_channels[channel].put(dict(token))
+        self.in_channels[channel].put(token)
+
+    def deliver_word(self, channel: str, word: int) -> None:
+        """Enqueue an already-packed token word (harness hot path)."""
+        self.in_channels[channel].put_word(word)
 
     def seed_inputs(self) -> None:
         """Prime every input channel with one all-zero token (fast-mode
         initialization; injects one cycle of latency at the boundary)."""
         for ch in self.in_channels.values():
-            ch.put(zeros_token(ch.spec))
+            ch.put_word(0)
 
     def drain_outbox(self) -> List[Tuple[str, Token]]:
+        """Drain produced tokens as dicts (compatibility surface; the
+        harness drains :meth:`drain_outbox_words` instead)."""
+        out, self.outbox = self.outbox, []
+        return [(name, self.out_channels[name].codec.decode(word))
+                for name, word in out]
+
+    def drain_outbox_words(self) -> List[Tuple[str, int]]:
         out, self.outbox = self.outbox, []
         return out
 
@@ -113,24 +143,34 @@ class LIBDNHost:
         """Fire every armed output channel whose comb-dependent inputs hold
         tokens; returns the names fired (in deterministic order)."""
         fired_now: List[str] = []
-        for name in sorted(self.out_channels):
-            if self._fired[name]:
+        fired = self._fired
+        sim = self.sim
+        for name, out_ch, dep_plans, pack_fields in self._fire_plans:
+            if fired[name]:
                 continue
-            spec = self.out_channels[name].spec
-            if not all(self.in_channels[d].has_token() for d in spec.deps):
+            ready = True
+            for dep_ch, _ in dep_plans:
+                if not dep_ch.queue:
+                    ready = False
+                    break
+            if not ready:
                 continue
             # poke only the combinationally relevant inputs; other input
             # ports keep stale values, which cannot affect these outputs.
-            for dep in spec.deps:
-                head = self.in_channels[dep].head()
-                for port, _ in self.in_channels[dep].spec.ports:
-                    self.sim.poke(port, head[port])
-            self.sim.eval()
-            token = {port: self.sim.peek(port)
-                     for port, _ in spec.ports}
-            self.out_channels[name].put(token)
-            self.outbox.append((name, token))
-            self._fired[name] = True
+            # (values in the queue are already masked to the port width,
+            # so writing env directly matches what poke() would store)
+            env = sim.env
+            for dep_ch, fields in dep_plans:
+                head = dep_ch.queue[0]
+                for port, offset, mask in fields:
+                    env[port] = (head >> offset) & mask
+            sim.eval()
+            word = 0
+            for port, offset, _ in pack_fields:
+                word |= env[port] << offset
+            out_ch.put_word(word)
+            self.outbox.append((name, word))
+            fired[name] = True
             fired_now.append(name)
             if self.tracer.enabled:
                 self.tracer.emit(TraceEvent(
@@ -149,19 +189,21 @@ class LIBDNHost:
         and re-arm the output FSMs."""
         if not self.can_advance():
             raise SimulationError(f"{self.name}: advance() while not ready")
-        for ch in self.in_channels.values():
-            token = ch.get()
-            for port, _ in ch.spec.ports:
-                self.sim.poke(port, token[port])
-        self.sim.eval()
-        self.sim.tick()
+        sim = self.sim
+        env = sim.env
+        for ch, fields in self._in_plans:
+            word = ch.queue.popleft()
+            for port, offset, mask in fields:
+                env[port] = (word >> offset) & mask
+        sim.eval()
+        sim.tick()
         for name in self._fired:
             self._fired[name] = False
         # tokens the fire FSMs enqueued for bookkeeping are consumed by the
         # harness via the outbox; drop our local copies.
-        for ch in self.out_channels.values():
-            if ch.has_token():
-                ch.get()
+        for ch in self._out_channel_list:
+            if ch.queue:
+                ch.queue.popleft()
         self.target_cycle += 1
         if self.tracer.enabled:
             self.tracer.emit(TraceEvent(
@@ -187,7 +229,7 @@ class LIBDNHost:
         def channels(table: Dict[str, Channel]) -> dict:
             return {
                 name: {
-                    "tokens": [dict(t) for t in ch.queue],
+                    "tokens": [ch.codec.decode(w) for w in ch.queue],
                     "total_enqueued": ch.total_enqueued,
                 }
                 for name, ch in table.items()
@@ -198,7 +240,8 @@ class LIBDNHost:
             "in_channels": channels(self.in_channels),
             "out_channels": channels(self.out_channels),
             "fired": dict(self._fired),
-            "outbox": [[name, dict(token)] for name, token in self.outbox],
+            "outbox": [[name, self.out_channels[name].codec.decode(word)]
+                       for name, word in self.outbox],
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -213,12 +256,15 @@ class LIBDNHost:
                     f"not match this host's {sorted(table)}")
             for name, ch in table.items():
                 ch.queue.clear()
-                ch.queue.extend(dict(t) for t in saved[name]["tokens"])
+                ch.queue.extend(ch.codec.encode(t)
+                                for t in saved[name]["tokens"])
                 ch.total_enqueued = saved[name]["total_enqueued"]
         self.sim.restore(state["sim"])
         self._fired = dict(state["fired"])
-        self.outbox = [(name, dict(token))
-                       for name, token in state["outbox"]]
+        self.outbox = [
+            (name, self.out_channels[name].codec.encode(token))
+            for name, token in state["outbox"]
+        ]
         self.target_cycle = state["target_cycle"]
 
     def channel_state(self) -> dict:

@@ -4,22 +4,25 @@ FireAxe's premise is that partitions run *concurrently* on separate
 FPGAs; this package gives the reproduction the same shape in software.
 Each partition's LI-BDN host runs in its own forked worker process
 (``worker``), cross-partition tokens travel as batched effect frames
-over pipes with credit-based flow control (``channels``), a coordinator
-spawns/supervises the workers and merges their state fragments back
-into the parent simulation (``coordinator``), and an experiment-level
-pool fans independent sweep points across bounded jobs (``pool``).
+with credit-based flow control (``channels``) over one of two data
+planes — pickled pipe messages, or struct-packed records in
+shared-memory rings (``shm``) — a coordinator spawns/supervises the
+workers and merges their state fragments back into the parent
+simulation (``coordinator``), and an experiment-level pool fans
+independent sweep points across bounded jobs (``pool``).
 
 The backend is *bit-deterministic*: ``SimulationResult.detail`` (and
 all merged simulation state that feeds checkpoints) is identical to the
 in-process harness — see DESIGN.md for the wavefront schedule that
 makes this true by construction.  Select it per-call
 (``sim.run(..., backend=...)`` via :func:`ProcessBackend.run`), or
-globally with ``REPRO_BACKEND=process``.
+globally with ``REPRO_BACKEND=process`` / ``REPRO_BACKEND=process-shm``.
 """
 
 from .coordinator import (ProcessBackend, auto_backend,
                           fork_available, unsupported_reason)
 from .channels import EffectFrame, FrameConduit, FrameInbox
+from .shm import FramePacker, ShmConduit, ShmRing, shm_available
 from .pool import fanout
 
 __all__ = [
@@ -30,5 +33,9 @@ __all__ = [
     "EffectFrame",
     "FrameConduit",
     "FrameInbox",
+    "FramePacker",
+    "ShmConduit",
+    "ShmRing",
+    "shm_available",
     "fanout",
 ]

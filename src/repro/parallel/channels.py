@@ -30,8 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-#: (link index, dst key, token, arrival ns, rx serdes ns)
-Delivery = Tuple[int, Tuple[str, str], dict, float, float]
+#: (link index, dst key, packed token word, arrival ns, rx serdes ns)
+Delivery = Tuple[int, Tuple[str, str], int, float, float]
 #: (dst key, consume-time ns)
 Credit = Tuple[Tuple[str, str], float]
 
@@ -128,6 +128,10 @@ class FrameConduit:
     def note_ack(self, through_pass: int) -> None:
         if through_pass > self.acked_through:
             self.acked_through = through_pass
+
+    def send_ack(self, through_pass: int) -> None:
+        """Write a standalone acknowledgement (no frames attached)."""
+        self.conn.send(("ack", through_pass))
 
 
 class FrameInbox:

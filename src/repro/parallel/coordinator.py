@@ -45,6 +45,7 @@ from ..observability.tracer import (NULL_TRACER, RecordingTracer,
                                     TraceEvent)
 from ..reliability.supervisor import InjectedCrash
 from . import worker as _worker_mod
+from .shm import DEFAULT_RING_BYTES, FramePacker, ShmRing, shm_available
 from .worker import worker_main
 
 
@@ -78,13 +79,17 @@ def auto_backend(sim) -> Optional["ProcessBackend"]:
     if _worker_mod.IN_WORKER:
         return None
     mode = os.environ.get("REPRO_BACKEND", "").strip().lower()
-    if mode not in ("process", "proc"):
+    if mode not in ("process", "proc", "process-shm", "shm"):
         return None
     if not fork_available():
         return None
     if unsupported_reason(sim) is not None:
         return None
     kwargs = {}
+    if mode in ("process-shm", "shm") and shm_available():
+        # best effort: auto selection degrades to the pipe transport
+        # rather than failing when shared memory is unavailable
+        kwargs["transport"] = "shm"
     flush = os.environ.get("REPRO_FLUSH_INTERVAL")
     if flush:
         kwargs["flush_interval"] = max(1, int(flush))
@@ -129,16 +134,29 @@ class ProcessBackend:
             for the coordinator) before it is declared hung.
         worker_faults: test hook — ``{partition: (mode, pass_no)}``
             where mode is ``"kill"``, ``"raise"`` or ``"hang"``.
+        transport: data-plane carrier between linked workers —
+            ``"pipe"`` pickles frame batches over OS pipes,
+            ``"shm"`` moves struct-packed batches through
+            shared-memory rings (see :mod:`repro.parallel.shm`);
+            control and liveness stay on pipes either way.
     """
 
     def __init__(self, flush_interval: int = 16,
                  window: Optional[int] = None,
                  heartbeat_timeout: float = 30.0,
-                 worker_faults: Optional[Dict[str, tuple]] = None):
+                 worker_faults: Optional[Dict[str, tuple]] = None,
+                 transport: str = "pipe"):
+        if transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"unknown transport {transport!r} (pipe or shm)")
         self.flush_interval = max(1, flush_interval)
         self.window = window
         self.heartbeat_timeout = heartbeat_timeout
         self.worker_faults = dict(worker_faults or {})
+        self.transport = transport
+        self._backend_label = \
+            "process-shm" if transport == "shm" else "process"
+        self._rings: List[ShmRing] = []
         #: per-worker wire accounting from the last completed run —
         #: {partition: {"messages_sent": ..., "frames_pushed": ...}};
         #: benchmark instrumentation, never part of simulation state
@@ -153,6 +171,10 @@ class ProcessBackend:
             raise BackendUnavailableError(
                 "process backend needs the 'fork' start method "
                 "(unavailable on this platform)")
+        if self.transport == "shm" and not shm_available():
+            raise BackendUnavailableError(
+                "shm transport needs multiprocessing.shared_memory "
+                "(unavailable on this platform)")
         reason = unsupported_reason(sim)
         if reason is not None:
             raise UnsupportedTopologyError(reason)
@@ -160,7 +182,7 @@ class ProcessBackend:
             sim.telemetry.target_cycles = max(
                 sim.telemetry.target_cycles or 0, target_cycles)
         if sim.frontier_cycle() >= target_cycles:
-            sim.last_run_backend = "process"
+            sim.last_run_backend = self._backend_label
             self._finish_telemetry(sim)
             return sim.result()
         if crash_cycle is not None \
@@ -189,6 +211,16 @@ class ProcessBackend:
             return recv_conn, send_conn
 
         data: Dict[str, Dict[str, tuple]] = {n: {} for n in names}
+        #: per-worker {peer: (recv_ring, send_ring)}; rings are created
+        #: *before* forking so children inherit the mappings.  The
+        #: parent alone unlinks them (in _cleanup); children exit via
+        #: os._exit and never touch ring lifecycle.
+        rings: Dict[str, Dict[str, tuple]] = {n: {} for n in names}
+        packer = None
+        if self.transport == "shm":
+            packer = FramePacker.from_sim(sim)
+            ring_bytes = int(os.environ.get(
+                "REPRO_SHM_RING_BYTES", "") or DEFAULT_RING_BYTES)
         for i, a in enumerate(names):
             for b in names[i + 1:]:
                 if b not in linked[a]:
@@ -197,6 +229,12 @@ class ProcessBackend:
                 b2a_recv, b2a_send = pipe()
                 data[a][b] = (b2a_recv, a2b_send)
                 data[b][a] = (a2b_recv, b2a_send)
+                if self.transport == "shm":
+                    ring_ab = ShmRing.create(ring_bytes)
+                    ring_ba = ShmRing.create(ring_bytes)
+                    self._rings.extend((ring_ab, ring_ba))
+                    rings[a][b] = (ring_ba, ring_ab)
+                    rings[b][a] = (ring_ab, ring_ba)
         up: Dict[str, tuple] = {}
         down: Dict[str, tuple] = {}
         for name in names:
@@ -216,6 +254,8 @@ class ProcessBackend:
                 "window": self.window,
                 "heartbeat_s": min(2.0, self.heartbeat_timeout / 4),
                 "die": self.worker_faults.get(name),
+                "rings": rings[name] or None,
+                "packer": packer,
             }
             procs[name] = ctx.Process(
                 target=worker_main,
@@ -246,8 +286,7 @@ class ProcessBackend:
             except (BrokenPipeError, OSError):
                 pass
 
-    @staticmethod
-    def _cleanup(procs, ctl_recv, ctl_send) -> None:
+    def _cleanup(self, procs, ctl_recv, ctl_send) -> None:
         """Terminate, reap and unplumb every child unconditionally."""
         for proc in procs.values():
             if proc.is_alive():
@@ -264,6 +303,11 @@ class ProcessBackend:
                 conn.close()
             except OSError:
                 pass
+        # children are reaped; the parent owns ring teardown
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+        self._rings = []
 
     # -- the supervision loop -------------------------------------------------
 
@@ -372,12 +416,11 @@ class ProcessBackend:
             n: frag.get("wire_stats", {})
             for n, frag in fragments.items()}
         self._merge(sim, fragments)
-        sim.last_run_backend = "process"
+        sim.last_run_backend = self._backend_label
         self._finish_telemetry(sim)
         return sim.result()
 
-    @staticmethod
-    def _live_payload(sim, states) -> dict:
+    def _live_payload(self, sim, states) -> dict:
         """Live status assembled from piggybacked metric frames — the
         parent's partition objects are stale while workers run."""
         wall_ns = max((s.busy_ns for s in states.values()),
@@ -387,7 +430,7 @@ class ProcessBackend:
         rate_hz = frontier / wall_ns * 1e9 if wall_ns > 0 else 0.0
         return {
             "status": "running",
-            "backend": "process",
+            "backend": self._backend_label,
             "frontier_cycle": frontier,
             "target_cycles": sim.telemetry.target_cycles,
             "wall_ns": wall_ns,

@@ -1,0 +1,338 @@
+"""Shared-memory ring transport tier for the process backend.
+
+The pipe transport pays a pickle round trip plus two kernel copies per
+frame batch.  This tier replaces the steady-state data plane with
+single-producer/single-consumer byte rings in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) and a fixed-layout binary frame
+codec built from the partition topology:
+
+* :class:`ShmRing` — an SPSC ring of length-prefixed records.  The
+  writer owns the head cursor, the reader owns the tail cursor; each
+  cursor is a monotonically increasing u64 published with a single
+  8-byte aligned store *after* the payload bytes are in place, so a
+  record is never observed half-written.
+* :class:`FramePacker` — packs a batch of
+  :class:`~repro.parallel.channels.EffectFrame` into one struct-coded
+  record.  Token payloads are the packed channel words, serialized as
+  fixed-width little-endian byte strings sized from the destination
+  channel's codec; floats travel as IEEE-754 doubles (``<d``), which
+  round-trip exactly, so the shm tier is bit-identical to the pipe
+  tier by construction.
+* :class:`ShmConduit` — drop-in for
+  :class:`~repro.parallel.channels.FrameConduit`: same buffering,
+  flush-interval, and flow-control window accounting, but ``flush``
+  writes a packed record into the ring instead of pickling into a
+  pipe.  A full ring blocks politely: the caller-supplied ``wait_step``
+  drains *incoming* rings (breaking ring-buffer deadlock cycles),
+  services the control pipe, and may tell the writer to abandon the
+  batch (peer dead, or the run is finalizing past the stop fence).
+
+The control plane (progress reports, deadlock votes, stop/abort) stays
+on pipes, as does worker-death detection (a closed pipe raises EOF;
+shared memory cannot signal peer death).  Rings are created by the
+coordinator *before* forking so children inherit the mappings, and the
+coordinator alone unlinks them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .channels import EffectFrame
+
+try:  # pragma: no cover - exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without shm
+    _shared_memory = None
+
+
+def shm_available() -> bool:
+    """True when :mod:`multiprocessing.shared_memory` is usable here."""
+    return _shared_memory is not None
+
+
+#: ring header: two u64 cursors (head = bytes written, tail = bytes read)
+_HEADER = 16
+_CURSOR = struct.Struct("<Q")
+_LEN = struct.Struct("<I")
+
+DEFAULT_RING_BYTES = 1 << 20
+
+
+class RingFull(Exception):
+    """Raised by :meth:`ShmRing.write` when the record does not fit."""
+
+
+class ShmRing:
+    """Single-producer/single-consumer ring of length-prefixed records.
+
+    Cursors are *total bytes* ever written/read (u64, never wrapped);
+    the data region index is ``cursor % capacity``.  The writer reads
+    the tail only to compute free space, the reader reads the head only
+    to find new records — each side stores only its own cursor, so no
+    locks are needed.  Each side also keeps a local mirror of its own
+    cursor (authoritative — only it writes it) and a lazily refreshed
+    snapshot of the other side's, so the steady-state cost per
+    operation is one bulk slice copy plus one publishing store.
+    """
+
+    def __init__(self, shm, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        self.buf = shm.buf
+        #: writer-local: own head (exact) and last-seen tail
+        self._head = self._load(0)
+        self._tail_seen = self._load(8)
+        #: reader-local: own tail (exact) and last-seen head
+        self._tail = self._tail_seen
+        self._head_seen = self._head
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_BYTES) -> "ShmRing":
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        shm = _shared_memory.SharedMemory(create=True,
+                                          size=_HEADER + capacity)
+        shm.buf[:_HEADER] = b"\0" * _HEADER
+        return cls(shm, capacity)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # cursor accessors (offset 0 = head/writer, offset 8 = tail/reader)
+
+    def _load(self, off: int) -> int:
+        return _CURSOR.unpack_from(self.buf, off)[0]
+
+    def _store(self, off: int, value: int) -> None:
+        _CURSOR.pack_into(self.buf, off, value)
+
+    # writer side
+
+    def try_write(self, payload: bytes) -> bool:
+        """Append one record; False when the ring lacks space."""
+        record = _LEN.pack(len(payload)) + payload
+        n = len(record)
+        capacity = self.capacity
+        if n > capacity:
+            raise RingFull(
+                f"record of {n} bytes exceeds ring capacity "
+                f"{capacity}; raise REPRO_SHM_RING_BYTES")
+        head = self._head
+        if n > capacity - (head - self._tail_seen):
+            self._tail_seen = self._load(8)
+            if n > capacity - (head - self._tail_seen):
+                return False
+        pos = head % capacity
+        end = pos + n
+        buf = self.buf
+        if end <= capacity:
+            buf[_HEADER + pos:_HEADER + end] = record
+        else:
+            first = capacity - pos
+            buf[_HEADER + pos:_HEADER + capacity] = record[:first]
+            buf[_HEADER:_HEADER + n - first] = record[first:]
+        # publish: single aligned 8-byte store after the payload lands
+        self._head = head + n
+        self._store(0, self._head)
+        return True
+
+    # reader side
+
+    def read_all(self) -> List[bytes]:
+        """Drain every complete record currently in the ring.  The full
+        available span is copied out in at most two bulk slices, then
+        split into records from the (cheap, local) bytes object."""
+        tail = self._tail
+        head = self._head_seen
+        if head == tail:
+            head = self._head_seen = self._load(0)
+            if head == tail:
+                return []
+        avail = head - tail
+        pos = tail % self.capacity
+        buf = self.buf
+        if pos + avail <= self.capacity:
+            blob = bytes(buf[_HEADER + pos:_HEADER + pos + avail])
+        else:
+            first = self.capacity - pos
+            blob = bytes(buf[_HEADER + pos:_HEADER + self.capacity]) \
+                + bytes(buf[_HEADER:_HEADER + avail - first])
+        # publish: the writer may reuse the space only after this store
+        # (the bytes above are already copied out)
+        self._tail = tail + avail
+        self._store(8, self._tail)
+        out: List[bytes] = []
+        off = 0
+        unpack = _LEN.unpack_from
+        while off < avail:
+            (n,) = unpack(blob, off)
+            off += _LEN.size
+            out.append(blob[off:off + n])
+            off += n
+        return out
+
+    # lifecycle (coordinator side)
+
+    def close(self) -> None:
+        self.buf = None
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+#: record kinds
+_KIND_FRAMES = 1
+_KIND_ACK = 2
+
+_REC_HDR = struct.Struct("<BQI")      # kind, ack/through, n_frames
+_FRAME_HDR = struct.Struct("<QII")    # pass_no, n_deliveries, n_credits
+_DELIV_HDR = struct.Struct("<Idd")    # link index, arrive ns, rx ns
+_CREDIT = struct.Struct("<Id")        # credit-key index, consume ns
+
+
+class FramePacker:
+    """Topology-keyed binary codec for frame batches.
+
+    Built once by the coordinator from the simulation's link list (the
+    same object every forked worker holds), so both ends agree on the
+    link indices, the per-link token byte widths (from the destination
+    channel's :class:`~repro.libdn.codec.TokenCodec`), and the table
+    that maps credit keys to small integers.
+    """
+
+    def __init__(self, link_nbytes: List[int],
+                 link_dst: List[Tuple[str, str]],
+                 credit_keys: List[Tuple[str, str]]):
+        self.link_nbytes = link_nbytes
+        self.link_dst = link_dst
+        self.credit_keys = credit_keys
+        self.credit_index = {k: i for i, k in enumerate(credit_keys)}
+
+    @classmethod
+    def from_sim(cls, sim) -> "FramePacker":
+        link_nbytes = [sim._in_channel_by_key[link.dst].codec.nbytes
+                       for link in sim.links]
+        link_dst = [link.dst for link in sim.links]
+        credit_keys = sorted({link.dst for link in sim.links})
+        return cls(link_nbytes, link_dst, credit_keys)
+
+    def pack_frames(self, frames: List[EffectFrame], ack: int) -> bytes:
+        parts = [_REC_HDR.pack(_KIND_FRAMES, ack, len(frames))]
+        nbytes = self.link_nbytes
+        credit_index = self.credit_index
+        for frame in frames:
+            parts.append(_FRAME_HDR.pack(
+                frame.pass_no, len(frame.deliveries), len(frame.credits)))
+            for idx, _dst, word, arrive_ns, rx_ns in frame.deliveries:
+                parts.append(_DELIV_HDR.pack(idx, arrive_ns, rx_ns))
+                parts.append(word.to_bytes(nbytes[idx], "little"))
+            for key, ns in frame.credits:
+                parts.append(_CREDIT.pack(credit_index[key], ns))
+        return b"".join(parts)
+
+    def pack_ack(self, through_pass: int) -> bytes:
+        return _REC_HDR.pack(_KIND_ACK, through_pass, 0)
+
+    def unpack(self, payload: bytes, sender: str):
+        """Decode one record into the pipe-protocol message shape:
+        ``("frames", [EffectFrame...], ack)`` or ``("ack", through)``."""
+        kind, ack, n_frames = _REC_HDR.unpack_from(payload, 0)
+        if kind == _KIND_ACK:
+            return ("ack", ack)
+        off = _REC_HDR.size
+        nbytes = self.link_nbytes
+        link_dst = self.link_dst
+        credit_keys = self.credit_keys
+        frames: List[EffectFrame] = []
+        for _ in range(n_frames):
+            pass_no, n_deliv, n_credit = _FRAME_HDR.unpack_from(payload, off)
+            off += _FRAME_HDR.size
+            deliveries = []
+            for _ in range(n_deliv):
+                idx, arrive_ns, rx_ns = _DELIV_HDR.unpack_from(payload, off)
+                off += _DELIV_HDR.size
+                n = nbytes[idx]
+                word = int.from_bytes(payload[off:off + n], "little")
+                off += n
+                deliveries.append((idx, link_dst[idx], word,
+                                   arrive_ns, rx_ns))
+            credits = []
+            for _ in range(n_credit):
+                key_idx, ns = _CREDIT.unpack_from(payload, off)
+                off += _CREDIT.size
+                credits.append((credit_keys[key_idx], ns))
+            frames.append(EffectFrame(sender=sender, pass_no=pass_no,
+                                      deliveries=deliveries,
+                                      credits=credits))
+        return ("frames", frames, ack)
+
+
+class ShmConduit:
+    """Ring-backed outgoing frame stream; interface-compatible with
+    :class:`~repro.parallel.channels.FrameConduit`.
+
+    ``wait_step`` is called while the ring is full; it must keep the
+    worker live (drain incoming rings, service the control pipe) and
+    returns True when the write should be abandoned instead of retried
+    (dead peer, or run finalization past the stop fence).
+    """
+
+    def __init__(self, ring: ShmRing, peer: str, packer: FramePacker,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None,
+                 wait_step: Optional[Callable[[], bool]] = None):
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+        self.ring = ring
+        self.peer = peer
+        self.packer = packer
+        self.flush_interval = flush_interval
+        self.window = window if window is not None \
+            else max(2 * flush_interval, 4)
+        self.wait_step = wait_step or (lambda: False)
+        self.buffer: List[EffectFrame] = []
+        self.acked_through = 0
+        self.pushed_through = 0
+        self.ack_source = lambda: 0
+        self.messages_sent = 0
+        self.effects_sent = 0
+
+    def window_open(self, pass_no: int) -> bool:
+        return pass_no - self.acked_through <= self.window
+
+    def push(self, frame: EffectFrame) -> None:
+        self.buffer.append(frame)
+        self.pushed_through = frame.pass_no
+        self.effects_sent += len(frame.deliveries) + len(frame.credits)
+        if len(self.buffer) >= self.flush_interval:
+            self.flush()
+
+    def _write_blocking(self, payload: bytes) -> None:
+        while not self.ring.try_write(payload):
+            if self.wait_step():
+                return  # abandoned: receiver no longer consumes
+        self.messages_sent += 1
+
+    def flush(self) -> None:
+        if not self.buffer:
+            return
+        payload = self.packer.pack_frames(self.buffer, self.ack_source())
+        self.buffer = []
+        self._write_blocking(payload)
+
+    def note_ack(self, through_pass: int) -> None:
+        if through_pass > self.acked_through:
+            self.acked_through = through_pass
+
+    def send_ack(self, through_pass: int) -> None:
+        self._write_blocking(self.packer.pack_ack(through_pass))

@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import SimulationError
 from ..observability.tracer import RecordingTracer
 from .channels import EffectFrame, FrameConduit, FrameInbox, MetricFrame
+from .shm import FramePacker, ShmConduit, ShmRing
 
 #: set in forked children so backend auto-selection never recurses
 IN_WORKER = False
@@ -108,10 +109,10 @@ class Router:
     def is_local(self, partition: str) -> bool:
         return partition == self.me
 
-    def deliver_remote(self, link, token, arrive_ns: float,
+    def deliver_remote(self, link, word: int, arrive_ns: float,
                        rx_ns: float) -> None:
         self.out[link.dst[0]].deliveries.append(
-            (self._link_index[id(link)], link.dst, token,
+            (self._link_index[id(link)], link.dst, word,
              arrive_ns, rx_ns))
 
     def consumed(self, key: Tuple[str, str], ns: float) -> None:
@@ -129,7 +130,9 @@ class PartitionWorker:
                  flush_interval: int = 16,
                  window: Optional[int] = None,
                  heartbeat_s: float = 5.0,
-                 die: Optional[Tuple[str, int]] = None):
+                 die: Optional[Tuple[str, int]] = None,
+                 rings: Optional[Dict[str, Tuple[ShmRing, ShmRing]]] = None,
+                 packer: Optional[FramePacker] = None):
         self.sim = sim
         self.name = name
         self.part = sim.partitions[name]
@@ -151,21 +154,45 @@ class PartitionWorker:
         self.peers_before = [p for p in by_order if order[p] < me_idx]
         self.peers_after = [p for p in by_order if order[p] > me_idx]
 
+        # data plane: a ring-backed conduit when the coordinator made a
+        # ring pair for this peer, a pipe conduit otherwise.  The data
+        # pipes stay registered for waiting even in ring mode — a peer
+        # never writes on them then, so the only event they can deliver
+        # is the EOF that signals the peer died (shared memory cannot).
+        rings = rings or {}
+        self.packer = packer
+        self._recv_rings: Dict[str, ShmRing] = {}
+        self._finalizing = False
         self.conduits: Dict[str, FrameConduit] = {}
         self.inboxes: Dict[str, FrameInbox] = {}
         self._conn_peer = {}
         self._wait_conns = [ctl_recv]
         for peer in self.peers:
             recv_conn, send_conn = data_conns[peer]
-            conduit = FrameConduit(send_conn, peer,
-                                   flush_interval=flush_interval,
-                                   window=window)
+            if peer in rings:
+                recv_ring, send_ring = rings[peer]
+                conduit = ShmConduit(
+                    send_ring, peer, packer,
+                    flush_interval=flush_interval, window=window,
+                    wait_step=(lambda p=peer: self._ring_wait_step(p)))
+                self._recv_rings[peer] = recv_ring
+            else:
+                conduit = FrameConduit(send_conn, peer,
+                                       flush_interval=flush_interval,
+                                       window=window)
             conduit.ack_source = (lambda p=peer: self._take_ack(p))
             self.conduits[peer] = conduit
             self.inboxes[peer] = FrameInbox(
                 peer, ack_every=max(1, flush_interval // 2))
             self._conn_peer[recv_conn] = peer
             self._wait_conns.append(recv_conn)
+
+        # the wavefront schedule is compiled per-process: the parent
+        # dispatched to the backend before compiling its own, and the
+        # hooks/links may have changed since any inherited compile
+        sim._schedule = None
+        sim.ensure_schedule()
+        sim._batching = not sim._metrics_on
 
         #: pass number fence from the coordinator's stop broadcast:
         #: run the wavefront through this pass, then finalize (ensures
@@ -270,18 +297,54 @@ class PartitionWorker:
         self._drain(self.ctl_recv)
         self._raise_control()
 
+    def _drain_rings(self) -> bool:
+        """Drain every incoming shared-memory ring; True when any record
+        arrived.  Also called while blocked *writing* a full ring, which
+        is what breaks ring-buffer wait cycles: the peer that cannot
+        accept our bytes is itself blocked until someone reads its."""
+        got = False
+        for peer, ring in self._recv_rings.items():
+            for payload in ring.read_all():
+                got = True
+                msg = self.packer.unpack(payload, peer)
+                if msg[0] == "frames":
+                    _, frames, ack = msg
+                    self.inboxes[peer].offer(frames)
+                    self.conduits[peer].note_ack(ack)
+                else:
+                    self.conduits[peer].note_ack(msg[1])
+        return got
+
+    def _ring_wait_step(self, peer: str) -> bool:
+        """One polite spin of a conduit blocked on a full ring: keep
+        every other stream moving, then tell the writer whether to
+        abandon the batch (the receiver will never read it again)."""
+        self._drain_rings()
+        for conn in _conn_wait(self._wait_conns, timeout=0.0005):
+            self._drain(conn)
+        self._raise_control()
+        return peer in self._dead_peers or self._finalizing
+
     def _wait_until(self, pred) -> None:
         """Block until ``pred()`` — flushing first so peers never starve
-        on our buffered frames, and heartbeating while idle."""
+        on our buffered frames, and heartbeating while idle.  With rings
+        in play the wait is a short-timeout poll loop (shared memory has
+        no file descriptor to select on)."""
+        last_beat = time.monotonic()
         while not pred():
             self._flush_all()
-            ready = _conn_wait(self._wait_conns,
-                               timeout=self.heartbeat_s)
-            if not ready:
-                self._send_ctl(("heartbeat", self.name, self.pass_no,
-                                self.frontier()))
-            for conn in ready:
-                self._drain(conn)
+            ringed = bool(self._recv_rings) and self._drain_rings()
+            if not ringed:
+                timeout = 0.0005 if self._recv_rings \
+                    else self.heartbeat_s
+                ready = _conn_wait(self._wait_conns, timeout=timeout)
+                for conn in ready:
+                    self._drain(conn)
+                now = time.monotonic()
+                if not ready and now - last_beat >= self.heartbeat_s:
+                    self._send_ctl(("heartbeat", self.name,
+                                    self.pass_no, self.frontier()))
+                    last_beat = now
             self._raise_control()
             # a pass beyond the stop fence only moves empty frames (all
             # partitions are done), so it is safe — and necessary — to
@@ -301,15 +364,15 @@ class PartitionWorker:
             self._wait_until(lambda: inbox.has(pass_no))
         frame = inbox.take(pass_no)
         sim = self.sim
-        for idx, _dst, token, arrive_ns, rx_ns in frame.deliveries:
-            sim.apply_link_delivery(sim.links[idx], token,
+        for idx, _dst, word, arrive_ns, rx_ns in frame.deliveries:
+            sim.apply_link_delivery(sim.links[idx], word,
                                     arrive_ns, rx_ns)
         for key, ns in frame.credits:
             sim._consume_times.setdefault(key, deque()).append(ns)
         due = inbox.standalone_ack_due()
         if due is not None:
             try:
-                self.conduits[peer].conn.send(("ack", due))
+                self.conduits[peer].send_ack(due)
             except (BrokenPipeError, OSError):
                 self._dead_peers.add(peer)
             inbox.note_ack_sent(due)
@@ -319,10 +382,10 @@ class PartitionWorker:
         progress = False
         if part.target_cycle < self.target_cycles:
             sim._feed_sources(part)
-            for prefix, unit in part.units:
-                if unit.target_cycle >= self.target_cycles:
+            for up in sim._plan_by_part[self.name].unit_plans:
+                if up.unit.target_cycle >= self.target_cycles:
                     continue
-                progress |= sim._process_unit(part, prefix, unit)
+                progress |= sim._run_unit(up, self.target_cycles)
             if sim._metrics_on:
                 # same logical point as the serial loop's per-partition
                 # sampling hook; the wavefront invariant makes the
@@ -527,16 +590,21 @@ def worker_main(sim, name, order, target_cycles, max_passes,
             flush_interval=options.get("flush_interval", 16),
             window=options.get("window"),
             heartbeat_s=options.get("heartbeat_s", 5.0),
-            die=options.get("die"))
+            die=options.get("die"),
+            rings=options.get("rings"),
+            packer=options.get("packer"))
         worker.loop()
     except _Stop:
+        # past the fence the remaining frames are empty service frames;
+        # a blocked ring write may abandon them instead of waiting on a
+        # receiver that has already finalized
+        worker._finalizing = True
         worker._flush_all()
         # final standalone acks: a peer may still be blocked on its
         # flow-control window for a pass we applied but never acked
         for peer, inbox in worker.inboxes.items():
             try:
-                worker.conduits[peer].conn.send(
-                    ("ack", inbox.applied_through))
+                worker.conduits[peer].send_ack(inbox.applied_through)
             except (BrokenPipeError, OSError):
                 pass
         try:

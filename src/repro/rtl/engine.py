@@ -220,10 +220,13 @@ def _compile(elab: Elaboration):
     prologue = [f"    {ident(n)} = env[{n!r}]" for n in loads]
     epilogue = [f"    env[{a.name!r}] = {ident(a.name)}"
                 for a in elab.assigns]
-    comb_src = "def _comb(env, mems):\n" + "\n".join(
+    # _div/_rem enter as default arguments so references inside the
+    # generated body are LOAD_FAST locals, not module-global lookups
+    sig = "env, mems, _div=_div, _rem=_rem"
+    comb_src = f"def _comb({sig}):\n" + "\n".join(
         prologue + body + epilogue or ["    pass"]) + "\n"
     if not (prologue or body or epilogue):
-        comb_src = "def _comb(env, mems):\n    pass\n"
+        comb_src = f"def _comb({sig}):\n    pass\n"
 
     # tick: read settled values straight from env (simple and correct)
     env_ref = lambda name: f"env[{name!r}]"  # noqa: E731
@@ -244,7 +247,7 @@ def _compile(elab: Elaboration):
         commit_lines.append(
             f"    if w{j} is not None: mems[{w.mem!r}][w{j}[0]] = w{j}[1]")
     tick_body = tick_lines + commit_lines
-    tick_src = "def _tick(env, mems):\n" + (
+    tick_src = f"def _tick({sig}):\n" + (
         "\n".join(tick_body) if tick_body else "    pass") + "\n"
 
     namespace: Dict[str, object] = dict(CODEGEN_HELPERS)

@@ -71,7 +71,7 @@ def _eval_primop(expr: PrimOp, env: Dict[str, int]) -> int:
     if op == "orr":
         return int(a != 0)
     if op == "xorr":
-        return bin(a).count("1") & 1
+        return a.bit_count() & 1
     if op == "bits":
         hi, lo = expr.params
         return (a >> lo) & mask(hi - lo + 1)
@@ -148,7 +148,9 @@ def _compile_primop(expr: PrimOp, name_of) -> str:
     if op == "orr":
         return f"(1 if {a} else 0)"
     if op == "xorr":
-        return f"(bin({a}).count('1') & 1)"
+        # int.bit_count is a single CPython popcount call — no string
+        # materialization of the operand as bin() would do
+        return f"(({a}).bit_count() & 1)"
     if op == "bits":
         hi, lo = expr.params
         inner = f"({a} >> {lo})" if lo else a

@@ -189,6 +189,20 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_parallel_speedup.json",
                 "wire_batching_speedup", 1.0, speedup, 0.0))
+    token_plane = load("BENCH_token_plane.json")
+    if token_plane is not None:
+        for metric, floor in (("packed_codec_speedup", 5.0),
+                              ("shm_vs_pipe_speedup", 2.0)):
+            value = token_plane.get(metric)
+            if value is not None and value < floor:
+                violations.append(Violation(
+                    "BENCH_token_plane.json", metric,
+                    floor, value, 0.0))
+        identical = token_plane.get("detail_bit_identical")
+        if identical is not None and not identical:
+            violations.append(Violation(
+                "BENCH_token_plane.json", "detail_bit_identical",
+                1.0, 0.0, 0.0))
     return violations
 
 

@@ -1,0 +1,170 @@
+"""Shared-memory transport tier: rings, the binary frame codec, and the
+ring-backed conduit's flow-control accounting.
+
+The rings are SPSC and the packer is lossless by construction; these
+tests pin the invariants the backend's bit-identity rests on —
+record framing across wrap-around, exact float/word round trips, and
+conduit semantics matching :class:`~repro.parallel.channels.FrameConduit`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.libdn import ChannelSpec, codec_for
+from repro.parallel import shm_available
+from repro.parallel.channels import EffectFrame
+from repro.parallel.shm import FramePacker, RingFull, ShmConduit, ShmRing
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory missing")
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing.create(256)
+    yield r
+    r.close()
+    r.unlink()
+
+
+class TestShmRing:
+    def test_fifo_order(self, ring):
+        assert ring.read_all() == []
+        assert ring.try_write(b"alpha")
+        assert ring.try_write(b"beta")
+        assert ring.read_all() == [b"alpha", b"beta"]
+        assert ring.read_all() == []
+
+    def test_empty_payload(self, ring):
+        assert ring.try_write(b"")
+        assert ring.read_all() == [b""]
+
+    def test_full_ring_rejects_then_accepts_after_drain(self, ring):
+        payload = b"x" * 60  # 64 bytes with the length prefix
+        writes = 0
+        while ring.try_write(payload):
+            writes += 1
+        assert writes == 4  # 256 // 64
+        assert not ring.try_write(payload)
+        assert ring.read_all() == [payload] * writes
+        assert ring.try_write(payload)
+
+    def test_wrap_around_preserves_records(self, ring):
+        """Records larger than the space before the wrap point split
+        across the boundary and reassemble exactly."""
+        for step in range(64):
+            payload = bytes([step]) * (40 + step % 17)
+            assert ring.try_write(payload)
+            assert ring.read_all() == [payload]
+
+    def test_oversized_record_raises(self, ring):
+        with pytest.raises(RingFull):
+            ring.try_write(b"y" * 300)
+
+
+def _packer():
+    spec_a = ChannelSpec.make("in", [("x", 8), ("y", 16)])
+    spec_b = ChannelSpec.make("in", [("v", 48)])
+
+    class _Link:
+        def __init__(self, dst):
+            self.dst = dst
+
+    class _Sim:
+        links = [_Link(("P1", "in")), _Link(("P2", "in"))]
+        _in_channel_by_key = {
+            ("P1", "in"): type("C", (), {"codec": codec_for(spec_a)})(),
+            ("P2", "in"): type("C", (), {"codec": codec_for(spec_b)})(),
+        }
+
+    return FramePacker.from_sim(_Sim())
+
+
+class TestFramePacker:
+    def test_frames_round_trip(self):
+        packer = _packer()
+        frames = [
+            EffectFrame("P0", 7,
+                        deliveries=[(0, ("P1", "in"), 0xABCDEF, 12.5,
+                                     3.25),
+                                    (1, ("P2", "in"),
+                                     (1 << 48) - 1, 0.1, 0.0)],
+                        credits=[(("P1", "in"), 99.75)]),
+            EffectFrame("P0", 8),  # empty service frame
+        ]
+        kind, out, ack = packer.unpack(
+            packer.pack_frames(frames, ack=41), "P0")
+        assert kind == "frames" and ack == 41
+        assert len(out) == 2
+        assert out[0].sender == "P0" and out[0].pass_no == 7
+        assert out[0].deliveries == frames[0].deliveries
+        assert out[0].credits == frames[0].credits
+        assert out[1].empty and out[1].pass_no == 8
+
+    def test_floats_round_trip_exactly(self):
+        packer = _packer()
+        ns = 1234.000000000000227373675443232059478759765625
+        frames = [EffectFrame("P0", 1,
+                              deliveries=[(0, ("P1", "in"), 1, ns, ns)],
+                              credits=[(("P2", "in"), ns)])]
+        _, out, _ = packer.unpack(packer.pack_frames(frames, 0), "P0")
+        _, _, word, arrive, rx = out[0].deliveries[0]
+        assert (arrive, rx) == (ns, ns)
+        assert out[0].credits[0] == (("P2", "in"), ns)
+
+    def test_ack_record(self):
+        packer = _packer()
+        assert packer.unpack(packer.pack_ack(17), "P0") == ("ack", 17)
+
+
+class TestShmConduit:
+    def test_flush_and_window_accounting(self, ring):
+        packer = _packer()
+        conduit = ShmConduit(ring, "P1", packer, flush_interval=2)
+        conduit.ack_source = lambda: 5
+        frame = EffectFrame("P0", 1,
+                            deliveries=[(0, ("P1", "in"), 7, 1.0, 0.5)])
+        conduit.push(frame)
+        assert ring.read_all() == []  # buffered below the batch size
+        conduit.push(EffectFrame("P0", 2))
+        records = ring.read_all()  # auto-flushed on a full batch
+        assert len(records) == 1
+        kind, frames, ack = packer.unpack(records[0], "P0")
+        assert kind == "frames" and ack == 5
+        assert [f.pass_no for f in frames] == [1, 2]
+        assert conduit.messages_sent == 1
+        assert conduit.effects_sent == 1
+        assert conduit.pushed_through == 2
+        assert conduit.window_open(2)
+        assert not conduit.window_open(conduit.window + 1)
+        conduit.note_ack(2)
+        assert conduit.acked_through == 2
+        assert conduit.window_open(conduit.window + 1)
+
+    def test_full_ring_abandons_on_wait_step(self):
+        ring = ShmRing.create(64)
+        try:
+            packer = _packer()
+            steps = []
+            conduit = ShmConduit(ring, "P1", packer, flush_interval=1,
+                                 wait_step=lambda: steps.append(1)
+                                 or len(steps) >= 3)
+            assert ring.try_write(b"x" * 40)  # leave too little space
+            frame = EffectFrame(
+                "P0", 1,
+                deliveries=[(1, ("P2", "in"), 0, 0.0, 0.0)])
+            conduit.push(frame)  # flushes; does not fit the free space
+            assert len(steps) == 3  # spun until told to abandon
+            assert conduit.buffer == []
+            assert conduit.messages_sent == 0
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_send_ack_round_trips(self, ring):
+        packer = _packer()
+        conduit = ShmConduit(ring, "P1", packer)
+        conduit.send_ack(9)
+        (record,) = ring.read_all()
+        assert packer.unpack(record, "P1") == ("ack", 9)

@@ -98,6 +98,25 @@ class TestCheckBenchFiles:
         assert [v.metric for v in violations] \
             == ["wire_batching_speedup"]
 
+    def test_token_plane_below_floors_flags(self, tmp_path):
+        (tmp_path / "BENCH_token_plane.json").write_text(json.dumps({
+            "packed_codec_speedup": 4.2,
+            "shm_vs_pipe_speedup": 1.5,
+            "detail_bit_identical": False,
+        }))
+        violations = check_bench_files(tmp_path)
+        assert [v.metric for v in violations] == [
+            "packed_codec_speedup", "shm_vs_pipe_speedup",
+            "detail_bit_identical"]
+
+    def test_token_plane_at_floors_passes(self, tmp_path):
+        (tmp_path / "BENCH_token_plane.json").write_text(json.dumps({
+            "packed_codec_speedup": 5.0,
+            "shm_vs_pipe_speedup": 2.0,
+            "detail_bit_identical": True,
+        }))
+        assert check_bench_files(tmp_path) == []
+
     def test_empty_results_dir_passes(self, tmp_path):
         assert check_bench_files(tmp_path) == []
 
