@@ -420,3 +420,109 @@ def test_token_plane_three_way_bit_identity():
           f"{identical}")
     assert identical
     assert mp.active_children() == []
+
+
+# -- socket tier --------------------------------------------------------------
+#
+# Measured numbers land in ``results/BENCH_socket_tier.json``; the
+# ``repro regress`` gate checks them.  Two claims are pinned:
+#
+# * coalescing length-prefixed records into one socket send beats one
+#   syscall per record (the reason SocketChannel stages into ``_tx``),
+# * all four backends — inproc, process, process-shm, process-socket —
+#   produce bit-identical ``SimulationResult.detail``.
+
+import socket as _socket
+
+from repro.parallel import SocketChannel, socket_available
+
+
+def _write_socket_tier(payload):
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    path = RESULTS / "BENCH_socket_tier.json"
+    merged = json.loads(path.read_text()) if path.exists() else {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+def _drain_socket_records(sock, n, conn):
+    chan = SocketChannel(sock, peer="bench")
+    got = 0
+    while got < n and not chan.closed:
+        got += len(chan.drain())
+    conn.send(("done", got))
+
+
+def _ship_socket(records_per_send):
+    """Wall time to move RECORDS length-prefixed records over a local
+    socket pair, ``records_per_send`` records per sendall; the child
+    parses them back through SocketChannel.drain."""
+    import struct
+
+    ctx = mp.get_context("fork")
+    ours, theirs = _socket.socketpair()
+    parent_conn, child_conn = ctx.Pipe()
+    child = ctx.Process(target=_drain_socket_records,
+                        args=(theirs, RECORDS, child_conn),
+                        daemon=True)
+    child.start()
+    theirs.close()
+    child_conn.close()
+    record = struct.pack("<I", RECORD_BYTES) + bytes(RECORD_BYTES)
+    batch = record * records_per_send
+    t0 = time.perf_counter()
+    for _ in range(RECORDS // records_per_send):
+        ours.sendall(batch)
+    assert parent_conn.recv()[1] == RECORDS
+    elapsed = time.perf_counter() - t0
+    child.join(5.0)
+    ours.close()
+    parent_conn.close()
+    return elapsed
+
+
+@pytest.mark.skipif(not socket_available(),
+                    reason="socket transport needs AF_UNIX/fork")
+def test_socket_tier_batched_sends_beat_per_record_syscalls():
+    per_record_s = min(_ship_socket(1) for _ in range(5))
+    batched_s = min(_ship_socket(BATCH) for _ in range(5))
+    speedup = per_record_s / batched_s
+    payload = {
+        "wire_records": RECORDS,
+        "wire_record_bytes": RECORD_BYTES,
+        "records_per_send": BATCH,
+        "socket_per_record_s": per_record_s,
+        "socket_batched_s": batched_s,
+        "socket_batching_speedup": speedup,
+    }
+    _write_socket_tier(payload)
+    print(f"\nsocket wire: {RECORDS} records, one send each "
+          f"{per_record_s:.3f}s vs {BATCH}/send {batched_s:.3f}s "
+          f"({speedup:.2f}x)")
+    assert speedup > 1.0, payload
+
+
+@pytest.mark.skipif(not socket_available(),
+                    reason="socket transport needs AF_UNIX/fork")
+def test_socket_tier_four_way_bit_identity():
+    design = _design(2)
+    r_inproc = _build(design).run(CYCLES, backend="inproc")
+    r_process = ProcessBackend().run(_build(design), CYCLES)
+    r_socket = ProcessBackend(transport="socket").run(
+        _build(design), CYCLES)
+    details = [r_inproc.detail, r_process.detail, r_socket.detail]
+    if shm_available():
+        details.append(ProcessBackend(transport="shm").run(
+            _build(design), CYCLES).detail)
+    identical = all(d == details[0] for d in details)
+    payload = {
+        "identity_partitions": 3,
+        "identity_cycles": CYCLES,
+        "identity_backends": len(details),
+        "detail_bit_identical": identical,
+    }
+    _write_socket_tier(payload)
+    print(f"\nfour-way detail bit-identity over {CYCLES} cycles: "
+          f"{identical}")
+    assert identical
+    assert mp.active_children() == []

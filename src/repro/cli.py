@@ -9,7 +9,15 @@ scale, operating on circuit files in the textual IR format:
 * ``simulate``  — run the partitioned co-simulation and report the
   achieved rate (optionally until an output signal asserts);
   ``--backend process`` runs each partition in its own OS worker
-  process (results are bit-identical to the in-process loop),
+  process, ``process-shm``/``process-socket`` move token frames over
+  shared-memory rings / sockets (results are bit-identical to the
+  in-process loop under every backend),
+* ``farm``      — the simulated run farm: ``farm plan`` places the
+  partitions onto a declarative multi-host manifest (``--hosts``)
+  minimizing the modelled cross-host cut, ``farm launch`` deploys one
+  virtual-host agent per placed host and supervises the run (host
+  deaths roll back and re-place onto the survivors), ``farm status``
+  lists archived farm runs,
 * ``reliability`` — run a supervised, fault-injected co-simulation over
   reliable links; report the rate degradation versus a fault-free run
   and verify the delivered outputs stayed bit-identical,
@@ -357,6 +365,125 @@ def cmd_regress(args) -> int:
     return 0 if report.ok else 1
 
 
+def _farm_spec(args):
+    from .farm import FarmSpec
+    return FarmSpec.from_file(args.hosts)
+
+
+def _parse_colocate(entries: Optional[List[str]]) -> List[List[str]]:
+    return [entry.split(",") for entry in (entries or [])]
+
+
+def _parse_kills(entries: Optional[List[str]]) -> dict:
+    kills = {}
+    for entry in entries or []:
+        host, _, pass_no = entry.rpartition(":")
+        try:
+            kills[host] = int(pass_no)
+        except ValueError:
+            host = ""
+        if not host:
+            raise ReproError(
+                f"--kill-host wants HOST:PASS, got {entry!r}")
+    return kills
+
+
+def _print_placement(placement, spec) -> None:
+    by_host = placement.by_host()
+    for host in sorted(by_host):
+        cores = spec.hosts[host].cores
+        parts = by_host[host]
+        print(f"  {host} ({len(parts)}/{cores} cores): "
+              f"{', '.join(parts)}")
+    if placement.groups:
+        groups = "; ".join(",".join(g) for g in placement.groups)
+        print(f"  co-location groups honoured: {groups}")
+    print(f"  cross-host links: {placement.cross_links}  "
+          f"modelled cut: {placement.cut_cost_ns:.1f} ns/token")
+
+
+def cmd_farm_plan(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    sim = design.build_simulation(
+        TRANSPORTS[args.transport], host_freq_mhz=args.freq)
+    spec = _farm_spec(args)
+    from .farm import place_sim
+    placement = place_sim(sim, spec, _parse_colocate(args.colocate))
+    hosts = spec.live_hosts()
+    print(f"farm: {len(hosts)} live host(s), "
+          f"{spec.total_cores()} cores "
+          f"(default link: {spec.default_link})")
+    print(f"placement of {len(placement.assignment)} partition(s) "
+          f"onto {len(placement.hosts_used())} host(s):")
+    _print_placement(placement, spec)
+    return 0
+
+
+def cmd_farm_launch(args) -> int:
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    spec = _farm_spec(args)
+
+    def build():
+        return design.build_simulation(
+            TRANSPORTS[args.transport], host_freq_mhz=args.freq,
+            record_outputs=True)
+
+    from .farm import FarmManager
+    manager = FarmManager(
+        build, spec,
+        colocate=_parse_colocate(args.colocate),
+        checkpoint_every=args.checkpoint_every,
+        max_rollbacks=args.max_rollbacks,
+        heartbeat_timeout=args.heartbeat_timeout,
+        host_faults=_parse_kills(args.kill_host))
+    registry = RunRegistry(args.runs_dir) if args.archive else None
+    report = manager.launch(args.cycles, registry=registry,
+                            run_name=args.archive or "farm")
+    result = report.result
+    print(f"simulated {result.target_cycles} target cycles across "
+          f"{len(report.placement.hosts_used())} host(s) "
+          f"at {result.rate_khz:.2f} kHz")
+    for i, placement in enumerate(report.placements):
+        label = "placement" if len(report.placements) == 1 \
+            else f"placement #{i + 1}"
+        print(f"{label}:")
+        _print_placement(placement, spec)
+    if report.dead_hosts:
+        print(f"hosts lost mid-run: {', '.join(report.dead_hosts)} "
+              f"(recovered by {report.supervisor.rollbacks} "
+              f"rollback(s) onto {', '.join(report.live_hosts)})")
+    for host in sorted(report.host_fmr):
+        fmr = report.host_fmr[host]
+        total = sum(fmr.values())
+        top = max(fmr, key=fmr.get) if fmr else "-"
+        print(f"  FMR[{host}]: {total:.2f} (dominant: {top})")
+    if report.archive_path:
+        print(f"archived run: {report.archive_path}")
+    return 0
+
+
+def cmd_farm_status(args) -> int:
+    registry = RunRegistry(args.runs_dir)
+    records = [r for r in registry.list_runs() if "farm" in r]
+    if not records:
+        print(f"no archived farm runs under {registry.root}")
+        return 0
+    for record in records:
+        farm = record["farm"]
+        placements = farm.get("placements", [])
+        hosts = sorted(placements[-1]["by_host"]) if placements else []
+        dead = farm.get("dead_hosts", [])
+        note = f"  lost: {','.join(dead)}" if dead else ""
+        print(f"{record.get('run_id', '?')}: "
+              f"{record.get('target_cycles', 0)} cycles on "
+              f"{','.join(hosts) or '?'}  "
+              f"rate {record.get('rate_hz', 0.0) / 1e3:.2f} kHz  "
+              f"rollbacks {farm.get('rollbacks', 0)}{note}")
+    return 0
+
+
 def cmd_autopartition(args) -> int:
     circuit = _load(args.circuit)
     result = auto_partition(circuit, n_fpgas=args.fpgas, mode=args.mode,
@@ -396,13 +523,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="stop when this base output reads 1")
     p_sim.add_argument("--backend",
                        choices=["auto", "inproc", "process",
-                                "process-shm"],
+                                "process-shm", "process-socket"],
                        default="auto",
                        help="execution engine: 'process' runs one OS "
-                            "worker per partition; 'process-shm' "
-                            "additionally moves token frames over "
-                            "shared-memory rings (default: auto, "
-                            "honouring REPRO_BACKEND)")
+                            "worker per partition; 'process-shm' / "
+                            "'process-socket' additionally move token "
+                            "frames over shared-memory rings / local "
+                            "sockets (default: auto, honouring "
+                            "REPRO_BACKEND)")
     p_sim.add_argument("--metrics", type=int, default=0, metavar="N",
                        help="sample a deterministic metric time-series "
                             "every N target cycles (0: off)")
@@ -529,6 +657,66 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="rewrite the baseline from this "
                             "measurement instead of checking")
     p_reg.set_defaults(fn=cmd_regress)
+
+    p_farm = subs.add_parser(
+        "farm",
+        help="simulated run farm: place, deploy and supervise a "
+             "partitioned run across virtual hosts")
+    farm_subs = p_farm.add_subparsers(dest="farm_command",
+                                      required=True)
+
+    p_fplan = farm_subs.add_parser(
+        "plan", help="place the partitions onto the farm and print "
+                     "the modelled cut (no run)")
+    _add_common(p_fplan)
+    p_fplan.add_argument("--hosts", required=True,
+                         help="farm host manifest (JSON; see "
+                              "examples/farm_hosts.json)")
+    p_fplan.add_argument("--transport", choices=TRANSPORTS,
+                         default="qsfp")
+    p_fplan.add_argument("--freq", type=float, default=30.0)
+    p_fplan.add_argument("--colocate", action="append",
+                         metavar="PART,PART[,...]",
+                         help="partitions that must share a host "
+                              "(repeatable)")
+    p_fplan.set_defaults(fn=cmd_farm_plan)
+
+    p_flaunch = farm_subs.add_parser(
+        "launch", help="run the placed design under supervision; "
+                       "host deaths roll back and re-place onto the "
+                       "survivors")
+    _add_common(p_flaunch)
+    p_flaunch.add_argument("--hosts", required=True,
+                           help="farm host manifest (JSON)")
+    p_flaunch.add_argument("--transport", choices=TRANSPORTS,
+                           default="qsfp")
+    p_flaunch.add_argument("--freq", type=float, default=30.0)
+    p_flaunch.add_argument("--cycles", type=int, default=1000)
+    p_flaunch.add_argument("--colocate", action="append",
+                           metavar="PART,PART[,...]")
+    p_flaunch.add_argument("--checkpoint-every", type=int, default=100,
+                           help="target cycles between supervisor "
+                                "checkpoints")
+    p_flaunch.add_argument("--max-rollbacks", type=int, default=3)
+    p_flaunch.add_argument("--heartbeat-timeout", type=float,
+                           default=30.0,
+                           help="seconds of agent silence before a "
+                                "host is declared dead")
+    p_flaunch.add_argument("--kill-host", action="append",
+                           metavar="HOST:PASS",
+                           help="fault injection: SIGKILL this host's "
+                                "agent when a worker reaches the "
+                                "given wavefront pass (repeatable)")
+    p_flaunch.add_argument("--archive", metavar="NAME",
+                           help="archive the run (with placement and "
+                                "per-host FMR) under the run registry")
+    p_flaunch.add_argument("--runs-dir", default="results/runs")
+    p_flaunch.set_defaults(fn=cmd_farm_launch)
+
+    p_fstatus = farm_subs.add_parser(
+        "status", help="list archived farm runs")
+    p_fstatus.add_argument("--runs-dir", default="results/runs")
+    p_fstatus.set_defaults(fn=cmd_farm_status)
 
     p_auto = subs.add_parser("autopartition",
                              help="search for partition boundaries")

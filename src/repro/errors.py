@@ -97,6 +97,46 @@ class BackendUnavailableError(SimulationError):
     the process backend on a platform without ``fork``)."""
 
 
+class UnknownBackendError(SimulationError):
+    """``backend=`` / ``REPRO_BACKEND`` named no known execution
+    backend.  Raised at dispatch time (not deep inside a coordinator)
+    so the message can list every valid name.
+
+    Attributes:
+        name: the unrecognized backend string.
+        valid: the accepted backend names.
+        source: where the bad name came from (``backend`` for the
+            ``run`` argument, ``REPRO_BACKEND`` for the environment).
+    """
+
+    def __init__(self, name, valid: Sequence[str] = (),
+                 source: str = "backend"):
+        self.name = name
+        self.valid = tuple(valid)
+        msg = f"unknown {source} {name!r}"
+        if self.valid:
+            msg += f"; valid backends: {', '.join(self.valid)}"
+        super().__init__(msg)
+
+
+class HostDeadError(WorkerError):
+    """A farm virtual host died or went silent, taking every partition
+    worker placed on it down with it.
+
+    Raised by the farm manager after it has aborted the surviving
+    hosts and reaped every agent, so (like :class:`WorkerError`) the
+    supervisor's ordinary rollback/re-place path applies.
+
+    Attributes:
+        host: name of the lost host.
+    """
+
+    def __init__(self, host: str, reason: str, message: str,
+                 partition: str = ""):
+        self.host = host
+        super().__init__(partition or f"host:{host}", reason, message)
+
+
 class UnsupportedTopologyError(SimulationError):
     """The simulation's structure cannot be distributed (e.g. a switch
     fabric shared by links of different source partitions)."""
@@ -139,6 +179,23 @@ class ResourceError(ReproError):
 
 class TransportError(ReproError):
     """Misconfigured FPGA-to-FPGA transport (topology, link count)."""
+
+
+class SocketSetupError(TransportError):
+    """The socket transport's rendezvous failed: a peer's listener
+    never became reachable within the connect timeout (after bounded
+    exponential-backoff retries), a hello handshake timed out, or the
+    configured family/address is unusable on this host."""
+
+
+class FarmError(ReproError):
+    """A malformed or unusable farm host specification."""
+
+
+class PlacementError(SimulationError):
+    """No partition-to-host placement satisfies the farm constraints
+    (host core capacity, co-location groups) — e.g. after host deaths
+    left too little capacity to re-place the design."""
 
 
 class CheckpointError(ReproError):

@@ -1,0 +1,38 @@
+"""Simulated run farm: multi-host placement, deploy, supervision.
+
+FireAxe's evaluation runs partitioned designs across *clusters* of
+FPGA hosts (on-prem U250 boxes cabled with QSFP, cloud F1 instances);
+FireSim's manager owns the corresponding deploy/supervise machinery.
+This package reproduces that layer in software, with no real cluster
+needed: hosts are declared in a JSON manifest (``hosts``), FireSim-
+style topology passes place partitions to minimize the modelled
+cross-host cut (``placement``), each placed host becomes a *virtual
+host* — an OS process that forks the partition workers placed on it
+(``deploy``) — and a manager supervises the agents, turns a host loss
+into the supervisor's ordinary rollback + re-place path, and collects
+fragments, telemetry and per-host FMR back into the run registry
+(``manager``).
+
+Cross-host partition traffic travels over the socket transport tier
+(:mod:`repro.parallel.socket_transport`); intra-host traffic over
+pipes.  Results stay bit-identical to every other backend.
+"""
+
+from .hosts import (DEFAULT_LINK_CLASS, LINK_CLASSES, FarmSpec,
+                    HostSpec)
+from .placement import Placement, place, place_sim, sim_links
+from .manager import FarmBackend, FarmManager, FarmReport
+
+__all__ = [
+    "DEFAULT_LINK_CLASS",
+    "LINK_CLASSES",
+    "FarmSpec",
+    "HostSpec",
+    "Placement",
+    "place",
+    "place_sim",
+    "sim_links",
+    "FarmBackend",
+    "FarmManager",
+    "FarmReport",
+]

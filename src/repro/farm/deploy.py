@@ -1,0 +1,195 @@
+"""Virtual-host deployment: one agent process per simulated host.
+
+A farm run is a two-level process tree.  The manager
+(:class:`~repro.farm.manager.FarmBackend`) forks one *host agent* per
+placed host — the software stand-in for a run-farm machine — and each
+agent forks one partition worker per partition placed on its host.
+Because the agent is a real OS process, killing it takes every one of
+its workers down exactly the way a machine loss would: workers see
+their control pipe EOF and exit, cross-host peers see their sockets
+close, and the manager sees the agent's sentinel fire.
+
+Inside a host, workers exchange frames over plain pipes (same-box
+transport); across hosts they use the socket transport's packed
+records — the same split FireAxe makes between intra-host FPGA links
+and the network.  The agent is otherwise a pure relay:
+
+* worker -> manager: every control message forwards as
+  ``("w", partition, msg)``; a worker death as
+  ``("dead", partition, exitcode)``.
+* manager -> workers: ``("stop", fence)`` / ``("abort", reason)``
+  broadcast down unchanged; ``("ping", seq)`` answers with
+  ``("pong", seq)`` (the manager's host-liveness probe);
+  ``("shutdown",)`` ends the relay loop after a completed run.
+
+Fault injection for tests/demos: ``die_at_pass`` makes the agent
+``SIGKILL`` itself the moment any of its workers reports reaching that
+wavefront pass — a whole-host loss mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List
+
+from ..parallel.worker import worker_main
+
+
+def host_agent_main(sim, host: str, parts: List[str], order,
+                    target_cycles: int, max_passes: int,
+                    ctl_recv, ctl_send, unrelated_conns,
+                    options: Dict[str, dict]) -> None:
+    """Entry point of a forked host agent.
+
+    Args:
+        host: this virtual host's name.
+        parts: partitions placed here (each gets one worker).
+        ctl_recv / ctl_send: the manager-facing control pipe ends.
+        unrelated_conns: other agents' pipe ends to close (fork
+            hygiene — EOF propagation needs every stray copy closed).
+        options: per-partition worker option dicts; the agent-level
+            keys ride in ``options["__agent__"]`` (``die_at_pass``).
+    """
+    import multiprocessing as mp
+    ctx = mp.get_context("fork")
+    for conn in unrelated_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    agent_options = options.get("__agent__", {})
+    die_at_pass = agent_options.get("die_at_pass")
+
+    # intra-host data plane: one pipe pair per linked pair living
+    # entirely on this host (cross-host pairs are in the socket plans)
+    local = set(parts)
+    linked: Dict[str, set] = {p: set() for p in parts}
+    for link in sim.links:
+        a, b = link.src[0], link.dst[0]
+        if a != b and a in local and b in local:
+            linked[a].add(b)
+            linked[b].add(a)
+    own_conns: List = []
+    data: Dict[str, Dict[str, tuple]] = {p: {} for p in parts}
+    ordered = sorted(parts, key=order.__getitem__)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            if b not in linked[a]:
+                continue
+            a2b_recv, a2b_send = ctx.Pipe(duplex=False)
+            b2a_recv, b2a_send = ctx.Pipe(duplex=False)
+            own_conns.extend((a2b_recv, a2b_send, b2a_recv, b2a_send))
+            data[a][b] = (b2a_recv, a2b_send)
+            data[b][a] = (a2b_recv, b2a_send)
+    up: Dict[str, tuple] = {}
+    down: Dict[str, tuple] = {}
+    for part in parts:
+        up[part] = ctx.Pipe(duplex=False)
+        down[part] = ctx.Pipe(duplex=False)
+        own_conns.extend(up[part])
+        own_conns.extend(down[part])
+
+    procs: Dict[str, mp.Process] = {}
+    for part in parts:
+        keep = set()
+        for conns in data[part].values():
+            keep.update(id(c) for c in conns)
+        keep.add(id(down[part][0]))
+        keep.add(id(up[part][1]))
+        stray = [c for c in own_conns if id(c) not in keep]
+        procs[part] = ctx.Process(
+            target=worker_main,
+            args=(sim, part, order, target_cycles, max_passes,
+                  data[part], down[part][0], up[part][1],
+                  stray, options[part]),
+            name=f"repro-worker-{part}", daemon=True)
+    for proc in procs.values():
+        proc.start()
+    for conns in data.values():
+        for recv_conn, send_conn in conns.values():
+            recv_conn.close()
+            send_conn.close()
+    for part in parts:
+        down[part][0].close()
+        up[part][1].close()
+    # every rendezvous listener was inherited across two forks; the
+    # workers own their copies now, the agent's are strays (all the
+    # per-partition plans share one listener map)
+    plan0 = options[parts[0]].get("socket") if parts else None
+    for sock in (plan0 or {}).get("listeners", {}).values():
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    wrecv = {up[part][0]: part for part in parts}
+    wsend = {part: down[part][1] for part in parts}
+    sentinels = {procs[part].sentinel: part for part in parts}
+    dead = set()
+
+    def forward_down(msg) -> None:
+        for part, conn in wsend.items():
+            if part in dead:
+                continue
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                pass
+
+    def send_up(msg) -> None:
+        try:
+            ctl_send.send(msg)
+        except (BrokenPipeError, OSError):
+            os._exit(3)  # manager vanished
+
+    while True:
+        waitables = [ctl_recv]
+        waitables += [c for c, p in wrecv.items() if p not in dead]
+        waitables += [s for s, p in sentinels.items() if p not in dead]
+        for item in _conn_wait(waitables):
+            if item in sentinels:
+                part = sentinels[item]
+                procs[part].join(1.0)
+                # flush any parting messages before reporting the death
+                conn = up[part][0]
+                _relay_all(conn, part, send_up, die_at_pass)
+                dead.add(part)
+                send_up(("dead", part, procs[part].exitcode))
+            elif item is ctl_recv:
+                try:
+                    if not ctl_recv.poll():
+                        continue
+                    msg = ctl_recv.recv()
+                except (EOFError, OSError):
+                    os._exit(3)  # manager vanished; workers follow suit
+                kind = msg[0]
+                if kind in ("stop", "abort"):
+                    forward_down(msg)
+                elif kind == "ping":
+                    send_up(("pong", msg[1]))
+                elif kind == "shutdown":
+                    os._exit(0)
+            else:
+                part = wrecv[item]
+                if not _relay_all(item, part, send_up, die_at_pass):
+                    dead.add(part)
+                    send_up(("dead", part, None))
+
+
+def _relay_all(conn, part: str, send_up, die_at_pass) -> bool:
+    """Forward every pending message of one worker; False on EOF.
+    Fires the injected host fault when a progress report crosses the
+    trigger pass."""
+    while True:
+        try:
+            if not conn.poll():
+                return True
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return False
+        if die_at_pass is not None and msg[0] == "progress" \
+                and any(entry[0] >= die_at_pass for entry in msg[2]):
+            os.kill(os.getpid(), signal.SIGKILL)
+        send_up(("w", part, msg))

@@ -819,24 +819,30 @@ class PartitionedSimulation:
         distributable and no ``stop`` callback is given — results are
         bit-identical either way; ``process-shm`` additionally moves the
         steady-state token frames over shared-memory rings instead of
-        pickled pipes); ``"process"`` / ``"process-shm"`` demand the
-        distributed backend (raising
+        pickled pipes; ``process-socket`` moves them over stream
+        sockets, the transport the farm layer stretches across hosts);
+        ``"process"`` / ``"process-shm"`` / ``"process-socket"`` demand
+        the distributed backend (raising
         :class:`~repro.errors.BackendUnavailableError` /
         :class:`~repro.errors.UnsupportedTopologyError` when it cannot
         run); ``"inproc"`` forces the cooperative single-process loop.
+        Any other name raises
+        :class:`~repro.errors.UnknownBackendError`.
         """
-        if backend in ("process", "proc", "process-shm", "shm"):
+        from ..parallel import normalize_backend
+        resolved = normalize_backend(backend)
+        if resolved in ("process", "process-shm", "process-socket"):
             if stop is not None:
                 raise SimulationError(
                     "the process backend does not support stop "
                     "callbacks (they would need to observe every "
                     "worker's state every pass); use backend='inproc'")
             from ..parallel import ProcessBackend
-            transport = ("shm" if backend in ("process-shm", "shm")
-                         else "pipe")
+            transport = {"process": "pipe", "process-shm": "shm",
+                         "process-socket": "socket"}[resolved]
             return ProcessBackend(transport=transport).run(
                 self, target_cycles, max_passes=max_passes)
-        if backend == "auto" and stop is None:
+        if resolved == "auto" and stop is None:
             from ..parallel import auto_backend
             chosen = auto_backend(self)
             if chosen is not None:

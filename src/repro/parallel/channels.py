@@ -28,7 +28,7 @@ first element names the kind; see the module docstrings of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: (link index, dst key, packed token word, arrival ns, rx serdes ns)
 Delivery = Tuple[int, Tuple[str, str], int, float, float]
@@ -71,22 +71,25 @@ class MetricFrame:
     samples: List[tuple] = field(default_factory=list)
 
 
-class FrameConduit:
-    """Outgoing half of one worker->peer frame stream.
+class BaseConduit:
+    """Outgoing half of one worker->peer frame stream: the batching
+    buffer and the flow-control window, independent of the carrier.
 
-    Owns the batching buffer and the flow-control window.  ``push`` is
-    called once per pass; ``flush`` serializes the buffered frames into
-    a single ``("frames", [...], ack)`` message.  ``ack`` piggybacks the
-    highest peer pass this worker has applied (maintained by the inbox),
-    so steady-state traffic needs no standalone acknowledgements.
+    ``push`` is called once per pass; ``flush`` hands the buffered
+    frames to the carrier-specific :meth:`_transmit` as one batch.
+    ``ack`` piggybacks the highest peer pass this worker has applied
+    (maintained by the inbox), so steady-state traffic needs no
+    standalone acknowledgements.  Subclasses implement only how a
+    batch and a standalone ack reach the wire — pipes, shared-memory
+    rings and sockets all share this accounting (the third transport
+    tier must not re-implement the first two's flow control).
     """
 
-    def __init__(self, conn, peer: str,
+    def __init__(self, peer: str,
                  flush_interval: int = 16,
                  window: Optional[int] = None):
         if flush_interval < 1:
             raise ValueError("flush_interval must be >= 1")
-        self.conn = conn
         self.peer = peer
         self.flush_interval = flush_interval
         self.window = window if window is not None \
@@ -121,9 +124,9 @@ class FrameConduit:
     def flush(self) -> None:
         if not self.buffer:
             return
-        self.conn.send(("frames", self.buffer, self.ack_source()))
-        self.messages_sent += 1
+        batch = self.buffer
         self.buffer = []
+        self._transmit(batch, self.ack_source())
 
     def note_ack(self, through_pass: int) -> None:
         if through_pass > self.acked_through:
@@ -131,7 +134,78 @@ class FrameConduit:
 
     def send_ack(self, through_pass: int) -> None:
         """Write a standalone acknowledgement (no frames attached)."""
+        self._transmit_ack(through_pass)
+
+    # -- carrier interface ---------------------------------------------------
+
+    def _transmit(self, frames: List[EffectFrame], ack: int) -> None:
+        raise NotImplementedError
+
+    def _transmit_ack(self, through_pass: int) -> None:
+        raise NotImplementedError
+
+
+class FrameConduit(BaseConduit):
+    """Pipe-backed conduit: batches travel as one pickled
+    ``("frames", [...], ack)`` message per flush."""
+
+    def __init__(self, conn, peer: str,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None):
+        super().__init__(peer, flush_interval=flush_interval,
+                         window=window)
+        self.conn = conn
+
+    def _transmit(self, frames: List[EffectFrame], ack: int) -> None:
+        self.conn.send(("frames", frames, ack))
+        self.messages_sent += 1
+
+    def _transmit_ack(self, through_pass: int) -> None:
         self.conn.send(("ack", through_pass))
+
+
+class PackedConduit(BaseConduit):
+    """Conduit over a bounded byte carrier speaking the packed binary
+    record format (shared-memory rings, sockets).
+
+    Batches are struct-coded by a ``FramePacker`` and written through
+    the carrier-specific :meth:`_try_write`, which may refuse (full
+    ring, backpressured socket).  A refused write blocks *politely*:
+    the caller-supplied ``wait_step`` must keep the worker live (drain
+    incoming transports, service the control pipe, surface aborts) and
+    returns True when the write should be abandoned instead of retried
+    — the peer is dead, or the run is finalizing past the stop fence
+    and the remaining frames are empty service frames nobody will read.
+    Both non-pipe tiers share this loop; only ``_try_write`` differs.
+    """
+
+    def __init__(self, peer: str, packer,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None,
+                 wait_step: Optional[Callable[[], bool]] = None):
+        super().__init__(peer, flush_interval=flush_interval,
+                         window=window)
+        self.packer = packer
+        self.wait_step = wait_step or (lambda: False)
+
+    def _transmit(self, frames: List[EffectFrame], ack: int) -> None:
+        self._write_blocking(self.packer.pack_frames(frames, ack))
+
+    def _transmit_ack(self, through_pass: int) -> None:
+        self._write_blocking(self.packer.pack_ack(through_pass))
+
+    def _write_blocking(self, payload: bytes) -> None:
+        while not self._try_write(payload):
+            if self.wait_step():
+                return  # abandoned: receiver no longer consumes
+        self.messages_sent += 1
+
+    # -- carrier interface ---------------------------------------------------
+
+    def _try_write(self, payload: bytes) -> bool:
+        """Accept one packed record, or False when the carrier is
+        full (the record was NOT taken and may be retried)."""
+        raise NotImplementedError
 
 
 class FrameInbox:

@@ -32,20 +32,23 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import shutil
 import time
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from .. import errors as _errors
 from ..errors import (BackendUnavailableError, DeadlockError,
-                      SimulationError, UnsupportedTopologyError,
-                      WorkerError)
+                      SimulationError, UnknownBackendError,
+                      UnsupportedTopologyError, WorkerError)
 from ..observability.postmortem import DeadlockPostmortem
 from ..observability.tracer import (NULL_TRACER, RecordingTracer,
                                     TraceEvent)
 from ..reliability.supervisor import InjectedCrash
 from . import worker as _worker_mod
 from .shm import DEFAULT_RING_BYTES, FramePacker, ShmRing, shm_available
+from .socket_transport import (make_listeners, socket_available,
+                               socket_timeouts)
 from .worker import worker_main
 
 
@@ -73,23 +76,61 @@ def fork_available() -> bool:
     return "fork" in mp.get_all_start_methods()
 
 
+#: canonical backend names, as `normalize_backend` returns them
+VALID_BACKENDS = ("auto", "inproc", "process", "process-shm",
+                  "process-socket")
+
+#: accepted spellings -> canonical backend name
+BACKEND_ALIASES = {
+    "auto": "auto",
+    "inproc": "inproc",
+    "process": "process",
+    "proc": "process",
+    "process-shm": "process-shm",
+    "shm": "process-shm",
+    "process-socket": "process-socket",
+    "socket": "process-socket",
+}
+
+
+def normalize_backend(name, source: str = "backend") -> str:
+    """Canonical backend name for ``name``.  An unrecognized spelling
+    raises :class:`~repro.errors.UnknownBackendError` listing every
+    valid name — it must never silently fall through to a different
+    backend than the caller asked for."""
+    key = (name or "").strip().lower() if isinstance(name, str) else name
+    try:
+        return BACKEND_ALIASES[key]
+    except (KeyError, TypeError):
+        raise UnknownBackendError(name, VALID_BACKENDS,
+                                  source=source) from None
+
+
 def auto_backend(sim) -> Optional["ProcessBackend"]:
     """Backend selected by the ``REPRO_BACKEND`` environment variable
-    for ``run(backend="auto")``, or None for the in-process loop."""
+    for ``run(backend="auto")``, or None for the in-process loop.
+    A non-empty unknown value raises
+    :class:`~repro.errors.UnknownBackendError` rather than silently
+    running in-process."""
     if _worker_mod.IN_WORKER:
         return None
-    mode = os.environ.get("REPRO_BACKEND", "").strip().lower()
-    if mode not in ("process", "proc", "process-shm", "shm"):
+    raw = os.environ.get("REPRO_BACKEND", "").strip()
+    if not raw:
+        return None
+    mode = normalize_backend(raw, source="REPRO_BACKEND")
+    if mode in ("auto", "inproc"):
         return None
     if not fork_available():
         return None
     if unsupported_reason(sim) is not None:
         return None
     kwargs = {}
-    if mode in ("process-shm", "shm") and shm_available():
+    if mode == "process-shm" and shm_available():
         # best effort: auto selection degrades to the pipe transport
         # rather than failing when shared memory is unavailable
         kwargs["transport"] = "shm"
+    elif mode == "process-socket" and socket_available():
+        kwargs["transport"] = "socket"
     flush = os.environ.get("REPRO_FLUSH_INTERVAL")
     if flush:
         kwargs["flush_interval"] = max(1, int(flush))
@@ -137,26 +178,44 @@ class ProcessBackend:
         transport: data-plane carrier between linked workers —
             ``"pipe"`` pickles frame batches over OS pipes,
             ``"shm"`` moves struct-packed batches through
-            shared-memory rings (see :mod:`repro.parallel.shm`);
-            control and liveness stay on pipes either way.
+            shared-memory rings (see :mod:`repro.parallel.shm`),
+            ``"socket"`` moves the same packed batches over stream
+            sockets (see :mod:`repro.parallel.socket_transport`);
+            control and liveness stay on pipes either way (sockets
+            additionally signal peer death natively).
+        socket_family: ``"tcp"`` (loopback TCP with ``TCP_NODELAY``)
+            or ``"unix"`` for the socket transport; defaults to the
+            ``REPRO_SOCKET_FAMILY`` environment variable, then tcp.
     """
 
     def __init__(self, flush_interval: int = 16,
                  window: Optional[int] = None,
                  heartbeat_timeout: float = 30.0,
                  worker_faults: Optional[Dict[str, tuple]] = None,
-                 transport: str = "pipe"):
-        if transport not in ("pipe", "shm"):
+                 transport: str = "pipe",
+                 socket_family: Optional[str] = None):
+        if transport not in ("pipe", "shm", "socket"):
             raise ValueError(
-                f"unknown transport {transport!r} (pipe or shm)")
+                f"unknown transport {transport!r} (pipe, shm or socket)")
         self.flush_interval = max(1, flush_interval)
         self.window = window
         self.heartbeat_timeout = heartbeat_timeout
         self.worker_faults = dict(worker_faults or {})
         self.transport = transport
-        self._backend_label = \
-            "process-shm" if transport == "shm" else "process"
+        if socket_family is None:
+            socket_family = os.environ.get(
+                "REPRO_SOCKET_FAMILY", "").strip().lower() or "tcp"
+        if socket_family not in ("tcp", "unix"):
+            raise ValueError(
+                f"unknown socket family {socket_family!r} "
+                "(tcp or unix)")
+        self.socket_family = socket_family
+        self._backend_label = {"pipe": "process",
+                               "shm": "process-shm",
+                               "socket": "process-socket"}[transport]
         self._rings: List[ShmRing] = []
+        self._listeners: Dict[str, object] = {}
+        self._socket_tmpdir: Optional[str] = None
         #: per-worker wire accounting from the last completed run —
         #: {partition: {"messages_sent": ..., "frames_pushed": ...}};
         #: benchmark instrumentation, never part of simulation state
@@ -175,6 +234,10 @@ class ProcessBackend:
             raise BackendUnavailableError(
                 "shm transport needs multiprocessing.shared_memory "
                 "(unavailable on this platform)")
+        if self.transport == "socket" and not socket_available():
+            raise BackendUnavailableError(
+                "socket transport needs stream sockets "
+                "(unavailable on this host)")
         reason = unsupported_reason(sim)
         if reason is not None:
             raise UnsupportedTopologyError(reason)
@@ -217,13 +280,39 @@ class ProcessBackend:
         #: os._exit and never touch ring lifecycle.
         rings: Dict[str, Dict[str, tuple]] = {n: {} for n in names}
         packer = None
-        if self.transport == "shm":
+        if self.transport in ("shm", "socket"):
             packer = FramePacker.from_sim(sim)
+        if self.transport == "shm":
             ring_bytes = int(os.environ.get(
                 "REPRO_SHM_RING_BYTES", "") or DEFAULT_RING_BYTES)
+        socket_plan = None
+        if self.transport == "socket":
+            # rendezvous listeners are bound before forking so every
+            # child inherits them live; an owner is any partition a
+            # higher-order linked peer will connect down to.  Sockets
+            # signal peer death natively, so socket pairs get no
+            # shadow data pipes at all.
+            owners = {}
+            for i, a in enumerate(names):
+                backlog = sum(1 for b in names[i + 1:]
+                              if b in linked[a])
+                if backlog:
+                    owners[a] = backlog
+            listeners, addresses, tmpdir = make_listeners(
+                owners, self.socket_family)
+            self._listeners = listeners
+            self._socket_tmpdir = tmpdir
+            connect_timeout, read_timeout = socket_timeouts()
+            socket_plan = {
+                "family": self.socket_family,
+                "listeners": listeners,
+                "addresses": addresses,
+                "connect_timeout": connect_timeout,
+                "read_timeout": read_timeout,
+            }
         for i, a in enumerate(names):
             for b in names[i + 1:]:
-                if b not in linked[a]:
+                if b not in linked[a] or self.transport == "socket":
                     continue
                 a2b_recv, a2b_send = pipe()
                 b2a_recv, b2a_send = pipe()
@@ -256,6 +345,9 @@ class ProcessBackend:
                 "die": self.worker_faults.get(name),
                 "rings": rings[name] or None,
                 "packer": packer,
+                "socket": (dict(socket_plan,
+                                peers=sorted(linked[name]))
+                           if socket_plan is not None else None),
             }
             procs[name] = ctx.Process(
                 target=worker_main,
@@ -274,6 +366,13 @@ class ProcessBackend:
         for name in names:
             down[name][0].close()
             up[name][1].close()
+        # children inherited the rendezvous listeners across fork; the
+        # owners keep their copies open until their accept phase ends
+        for sock in self._listeners.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
         ctl_recv = {name: up[name][0] for name in names}
         ctl_send = {name: down[name][1] for name in names}
         return procs, ctl_recv, ctl_send
@@ -303,11 +402,21 @@ class ProcessBackend:
                 conn.close()
             except OSError:
                 pass
-        # children are reaped; the parent owns ring teardown
+        # children are reaped; the parent owns ring teardown and the
+        # unix-socket rendezvous directory
         for ring in self._rings:
             ring.close()
             ring.unlink()
         self._rings = []
+        for sock in self._listeners.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._listeners = {}
+        if self._socket_tmpdir is not None:
+            shutil.rmtree(self._socket_tmpdir, ignore_errors=True)
+            self._socket_tmpdir = None
 
     # -- the supervision loop -------------------------------------------------
 
@@ -454,27 +563,34 @@ class ProcessBackend:
                 msg = conn.recv()
             except (EOFError, OSError):
                 return  # the sentinel handler owns death accounting
-            state.last_seen = now
-            kind = msg[0]
-            if kind == "progress":
-                for pass_no, frontier, progressed in msg[2]:
-                    if pass_no > state.max_reported:
-                        state.max_reported = pass_no
-                    if progressed and pass_no > state.last_true_pass:
-                        state.last_true_pass = pass_no
-                    state.frontier = frontier
-                if len(msg) > 3 and msg[3] is not None:
-                    state.busy_ns = msg[3].busy_ns
-                    state.frontier = max(state.frontier,
-                                         msg[3].frontier)
-            elif kind == "heartbeat":
-                state.frontier = max(state.frontier, msg[3])
-            elif kind == "done":
-                state.fragment = msg[1]
-            elif kind == "postmortem":
-                state.postmortem = msg[1]
-            elif kind == "failed" and state.failed is None:
-                state.failed = (msg[2], msg[3])
+            self._apply_msg(state, msg, now)
+
+    @staticmethod
+    def _apply_msg(state, msg, now) -> None:
+        """Fold one worker control message into its supervision state
+        (shared with the farm manager, whose agents relay the same
+        messages tagged with the partition name)."""
+        state.last_seen = now
+        kind = msg[0]
+        if kind == "progress":
+            for pass_no, frontier, progressed in msg[2]:
+                if pass_no > state.max_reported:
+                    state.max_reported = pass_no
+                if progressed and pass_no > state.last_true_pass:
+                    state.last_true_pass = pass_no
+                state.frontier = frontier
+            if len(msg) > 3 and msg[3] is not None:
+                state.busy_ns = msg[3].busy_ns
+                state.frontier = max(state.frontier,
+                                     msg[3].frontier)
+        elif kind == "heartbeat":
+            state.frontier = max(state.frontier, msg[3])
+        elif kind == "done":
+            state.fragment = msg[1]
+        elif kind == "postmortem":
+            state.postmortem = msg[1]
+        elif kind == "failed" and state.failed is None:
+            state.failed = (msg[2], msg[3])
 
     def _on_death(self, name, procs, ctl_recv, states, now) -> None:
         state = states[name]

@@ -37,9 +37,9 @@ coordinator alone unlinks them.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from .channels import EffectFrame
+from .channels import EffectFrame, PackedConduit
 
 try:  # pragma: no cover - exercised via shm_available()
     from multiprocessing import shared_memory as _shared_memory
@@ -277,62 +277,22 @@ class FramePacker:
         return ("frames", frames, ack)
 
 
-class ShmConduit:
+class ShmConduit(PackedConduit):
     """Ring-backed outgoing frame stream; interface-compatible with
     :class:`~repro.parallel.channels.FrameConduit`.
 
-    ``wait_step`` is called while the ring is full; it must keep the
-    worker live (drain incoming rings, service the control pipe) and
-    returns True when the write should be abandoned instead of retried
-    (dead peer, or run finalization past the stop fence).
+    The batching/window accounting and the blocked-write wait-step
+    protocol live in :class:`~repro.parallel.channels.PackedConduit`;
+    this class only maps "accept one record" onto the SPSC ring.
     """
 
     def __init__(self, ring: ShmRing, peer: str, packer: FramePacker,
                  flush_interval: int = 16,
                  window: Optional[int] = None,
                  wait_step: Optional[Callable[[], bool]] = None):
-        if flush_interval < 1:
-            raise ValueError("flush_interval must be >= 1")
+        super().__init__(peer, packer, flush_interval=flush_interval,
+                         window=window, wait_step=wait_step)
         self.ring = ring
-        self.peer = peer
-        self.packer = packer
-        self.flush_interval = flush_interval
-        self.window = window if window is not None \
-            else max(2 * flush_interval, 4)
-        self.wait_step = wait_step or (lambda: False)
-        self.buffer: List[EffectFrame] = []
-        self.acked_through = 0
-        self.pushed_through = 0
-        self.ack_source = lambda: 0
-        self.messages_sent = 0
-        self.effects_sent = 0
 
-    def window_open(self, pass_no: int) -> bool:
-        return pass_no - self.acked_through <= self.window
-
-    def push(self, frame: EffectFrame) -> None:
-        self.buffer.append(frame)
-        self.pushed_through = frame.pass_no
-        self.effects_sent += len(frame.deliveries) + len(frame.credits)
-        if len(self.buffer) >= self.flush_interval:
-            self.flush()
-
-    def _write_blocking(self, payload: bytes) -> None:
-        while not self.ring.try_write(payload):
-            if self.wait_step():
-                return  # abandoned: receiver no longer consumes
-        self.messages_sent += 1
-
-    def flush(self) -> None:
-        if not self.buffer:
-            return
-        payload = self.packer.pack_frames(self.buffer, self.ack_source())
-        self.buffer = []
-        self._write_blocking(payload)
-
-    def note_ack(self, through_pass: int) -> None:
-        if through_pass > self.acked_through:
-            self.acked_through = through_pass
-
-    def send_ack(self, through_pass: int) -> None:
-        self._write_blocking(self.packer.pack_ack(through_pass))
+    def _try_write(self, payload: bytes) -> bool:
+        return self.ring.try_write(payload)

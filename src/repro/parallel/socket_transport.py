@@ -1,0 +1,389 @@
+"""Socket transport tier for the process backend — the network rung.
+
+FireAxe's platform table spans intra-FPGA, inter-FPGA and *network*
+transports; this module gives the software reproduction the third rung.
+Cross-partition frame batches travel as length-prefixed binary records
+(the same :class:`~repro.parallel.shm.FramePacker` codec the shm tier
+uses — lossless by construction, so the socket tier is bit-identical to
+every other backend) over TCP or Unix-domain stream sockets:
+
+* :func:`make_listeners` — the coordinator binds one rendezvous
+  listener per partition that has a higher-order linked peer *before*
+  forking, so children inherit live listening sockets and a connect can
+  never race the bind.
+* :func:`connect_with_backoff` — bounded exponential-backoff connect
+  with a configurable deadline (``REPRO_SOCKET_CONNECT_TIMEOUT``);
+  setup-time transients (a peer still forking) retry, a dead address
+  raises :class:`~repro.errors.SocketSetupError`.
+* :func:`establish_channels` — the worker-side rendezvous: connect to
+  every lower-order socket peer (sending a hello record naming
+  ourselves), then accept from every higher-order one (reading theirs).
+  Connects complete against the listen backlog without the acceptor
+  scheduling, so the two phases cannot deadlock across workers.
+* :class:`SocketChannel` — one established peer stream.  Non-blocking
+  both ways: ``drain`` reads whatever bytes are available and returns
+  only *complete* records (partial reads simply stay buffered; a peer
+  vanishing mid-frame surfaces as ``closed`` with the torn record
+  discarded), writes stage into a bounded pending buffer so a slow
+  peer backpressures the sender instead of growing memory.
+* :class:`SocketConduit` — drop-in for
+  :class:`~repro.parallel.channels.FrameConduit`, built on the shared
+  :class:`~repro.parallel.channels.PackedConduit` wait-step/abandon
+  protocol (the same one the shm tier uses; see ``channels``).
+
+Unlike shared memory, sockets signal peer death natively (EOF /
+``ECONNRESET``), so the socket transport needs no shadow data pipes —
+which is exactly what lets the farm layer stretch it across (virtual)
+hosts.  Selected via ``backend="process-socket"`` /
+``REPRO_BACKEND=process-socket``; family via ``REPRO_SOCKET_FAMILY``
+(``tcp`` default, ``unix`` for same-box runs).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SocketSetupError
+from .channels import PackedConduit
+
+_LEN = struct.Struct("<I")
+
+DEFAULT_CONNECT_TIMEOUT = 10.0
+DEFAULT_READ_TIMEOUT = 30.0
+#: staged-write cap: a peer this many bytes behind backpressures us
+DEFAULT_MAX_PENDING = 1 << 20
+
+
+def socket_available() -> bool:
+    """True when stream sockets are usable on this host."""
+    try:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    except OSError:  # pragma: no cover - no loopback networking
+        return False
+    sock.close()
+    return True
+
+
+def socket_timeouts() -> Tuple[float, float]:
+    """(connect, read) timeouts in seconds, environment-overridable."""
+    connect = float(os.environ.get(
+        "REPRO_SOCKET_CONNECT_TIMEOUT", "") or DEFAULT_CONNECT_TIMEOUT)
+    read = float(os.environ.get(
+        "REPRO_SOCKET_READ_TIMEOUT", "") or DEFAULT_READ_TIMEOUT)
+    return connect, read
+
+
+def resolve_family(name: str) -> int:
+    if name == "tcp":
+        return socket.AF_INET
+    if name == "unix":
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise SocketSetupError(
+                "unix-domain sockets are unavailable on this platform")
+        return socket.AF_UNIX
+    raise SocketSetupError(
+        f"unknown socket family {name!r} (tcp or unix)")
+
+
+def _tune(sock: socket.socket) -> None:
+    if sock.family == socket.AF_INET:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+def make_listeners(owners: Dict[str, int], family_name: str,
+                   directory: Optional[str] = None):
+    """Bind one rendezvous listener per owner (pre-fork, so every
+    child inherits it already listening).
+
+    ``owners`` maps owner name -> expected connection count (the listen
+    backlog).  Returns ``(listeners, addresses, tmpdir)`` where
+    ``tmpdir`` is the created unix-socket directory to remove at
+    cleanup (None for TCP).
+    """
+    family = resolve_family(family_name)
+    tmpdir = None
+    if family != socket.AF_INET and directory is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-sock-")
+        directory = tmpdir
+    listeners: Dict[str, socket.socket] = {}
+    addresses: Dict[str, object] = {}
+    try:
+        for owner, backlog in owners.items():
+            sock = socket.socket(family, socket.SOCK_STREAM)
+            if family == socket.AF_INET:
+                sock.bind(("127.0.0.1", 0))
+                addresses[owner] = sock.getsockname()
+            else:
+                path = os.path.join(directory, f"{owner}.sock")
+                sock.bind(path)
+                addresses[owner] = path
+            sock.listen(max(1, backlog))
+            listeners[owner] = sock
+    except OSError as exc:
+        for sock in listeners.values():
+            sock.close()
+        raise SocketSetupError(f"cannot bind rendezvous listener: {exc}")
+    return listeners, addresses, tmpdir
+
+
+def connect_with_backoff(family: int, address,
+                         timeout: Optional[float] = None
+                         ) -> socket.socket:
+    """Connect, retrying with bounded exponential backoff until
+    ``timeout`` (default ``REPRO_SOCKET_CONNECT_TIMEOUT``) elapses."""
+    if timeout is None:
+        timeout = socket_timeouts()[0]
+    deadline = time.monotonic() + timeout
+    delay = 0.001
+    last: Optional[OSError] = None
+    while True:
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(max(0.05, min(1.0, timeout)))
+            sock.connect(address)
+            _tune(sock)
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            sock.close()
+            last = exc
+            if time.monotonic() + delay > deadline:
+                raise SocketSetupError(
+                    f"cannot connect to {address!r} within "
+                    f"{timeout:g}s: {last}")
+            time.sleep(delay)
+            delay = min(delay * 2, 0.25)
+
+
+def _send_hello(sock: socket.socket, name: str, timeout: float) -> None:
+    payload = name.encode()
+    sock.settimeout(timeout)
+    try:
+        sock.sendall(_LEN.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise SocketSetupError(f"hello send to peer failed: {exc}")
+    finally:
+        sock.settimeout(None)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    got = bytearray()
+    while len(got) < n:
+        chunk = sock.recv(n - len(got))
+        if not chunk:
+            raise SocketSetupError(
+                "peer closed the connection during the hello handshake")
+        got += chunk
+    return bytes(got)
+
+
+def _recv_hello(sock: socket.socket, timeout: float) -> str:
+    sock.settimeout(timeout)
+    try:
+        (n,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+        name = _recv_exact(sock, n).decode()
+    except socket.timeout:
+        raise SocketSetupError(
+            f"no hello from an accepted peer within {timeout:g}s")
+    except OSError as exc:
+        raise SocketSetupError(f"hello receive failed: {exc}")
+    finally:
+        sock.settimeout(None)
+    return name
+
+
+def establish_channels(name: str, peers_before: List[str],
+                       peers_after: List[str], plan: dict
+                       ) -> Dict[str, "SocketChannel"]:
+    """Worker-side rendezvous: one :class:`SocketChannel` per socket
+    peer.  ``plan`` carries ``family``, the global ``listeners`` map
+    (we close every listener we inherited but do not own), per-owner
+    ``addresses``, and the two timeouts."""
+    family = resolve_family(plan["family"])
+    listeners: Dict[str, socket.socket] = plan.get("listeners", {})
+    for owner, listener in listeners.items():
+        if owner != name:
+            try:
+                listener.close()
+            except OSError:
+                pass
+    connect_timeout = plan.get("connect_timeout") \
+        or socket_timeouts()[0]
+    read_timeout = plan.get("read_timeout") or socket_timeouts()[1]
+    channels: Dict[str, SocketChannel] = {}
+    # phase 1: connect to every lower-order peer's listener.  These
+    # complete against the listen backlog without the acceptor
+    # scheduling, so no connect can wait on another worker's phase 2.
+    for peer in peers_before:
+        sock = connect_with_backoff(family, plan["addresses"][peer],
+                                    timeout=connect_timeout)
+        _send_hello(sock, name, read_timeout)
+        channels[peer] = SocketChannel(sock, peer)
+    # phase 2: accept one connection per higher-order peer; the hello
+    # record names the connector (accept order is arbitrary)
+    listener = listeners.get(name)
+    if peers_after:
+        if listener is None:
+            raise SocketSetupError(
+                f"worker {name!r} expects {len(peers_after)} "
+                "connection(s) but was given no listener")
+        expected = set(peers_after)
+        listener.settimeout(read_timeout)
+        for _ in peers_after:
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                raise SocketSetupError(
+                    f"worker {name!r} still waiting on "
+                    f"{sorted(expected)} after {read_timeout:g}s")
+            _tune(sock)
+            peer = _recv_hello(sock, read_timeout)
+            if peer not in expected:
+                sock.close()
+                raise SocketSetupError(
+                    f"unexpected hello from {peer!r} "
+                    f"(expected one of {sorted(expected)})")
+            expected.discard(peer)
+            channels[peer] = SocketChannel(sock, peer)
+    if listener is not None:
+        try:
+            listener.close()
+        except OSError:
+            pass
+    return channels
+
+
+class SocketChannel:
+    """One established peer stream of length-prefixed packed records.
+
+    Non-blocking.  ``fileno`` makes the channel selectable alongside
+    control pipes in ``multiprocessing.connection.wait``.  Reads
+    buffer partial records until the rest arrives; a clean or torn EOF
+    sets ``closed`` (native peer-death detection — the socket tier
+    needs no shadow data pipes).  Writes stage into ``_tx`` and drain
+    opportunistically; once ``max_pending`` bytes are staged the
+    channel refuses new records, which is the backpressure signal the
+    conduit's wait-step loop spins on.
+    """
+
+    def __init__(self, sock: socket.socket, peer: str = "",
+                 max_pending: int = DEFAULT_MAX_PENDING):
+        self.sock = sock
+        self.peer = peer
+        self.max_pending = max_pending
+        sock.setblocking(False)
+        self._rx = bytearray()
+        self._tx = bytearray()
+        self.closed = False
+        self.records_in = 0
+        self.records_out = 0
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    # -- read side -----------------------------------------------------------
+
+    def drain(self) -> List[bytes]:
+        """Read every available byte; return the complete records."""
+        while not self.closed:
+            try:
+                chunk = self.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self.closed = True
+                break
+            if not chunk:
+                self.closed = True
+                break
+            self._rx += chunk
+        out: List[bytes] = []
+        rx = self._rx
+        off, n = 0, len(rx)
+        while n - off >= _LEN.size:
+            (length,) = _LEN.unpack_from(rx, off)
+            if n - off - _LEN.size < length:
+                break  # partial record: keep buffering
+            start = off + _LEN.size
+            out.append(bytes(rx[start:start + length]))
+            off = start + length
+        if off:
+            del rx[:off]
+        self.records_in += len(out)
+        return out
+
+    # -- write side ----------------------------------------------------------
+
+    def try_write(self, payload: bytes) -> bool:
+        """Stage one record unless backpressured; True when accepted.
+        A record written to a dead peer is accepted and dropped — the
+        caller's dead-peer accounting owns that case."""
+        if self.closed:
+            return True
+        if self._tx:
+            self.try_flush()
+            if len(self._tx) >= self.max_pending:
+                return False
+        self._tx += _LEN.pack(len(payload)) + payload
+        self.records_out += 1
+        self.try_flush()
+        return True
+
+    def try_flush(self) -> bool:
+        """Push staged bytes out; True when the backlog fully
+        drained.  A peer that vanished raises the same
+        ``BrokenPipeError``/``OSError`` the pipe conduits raise, so
+        the worker's existing dead-peer handling applies unchanged."""
+        while self._tx:
+            try:
+                sent = self.sock.send(self._tx)
+            except (BlockingIOError, InterruptedError):
+                return False
+            except OSError:
+                self.closed = True
+                raise
+            if sent <= 0:  # pragma: no cover - defensive
+                return False
+            del self._tx[:sent]
+        return True
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+
+
+class SocketConduit(PackedConduit):
+    """Socket-backed outgoing frame stream; interface-compatible with
+    :class:`~repro.parallel.channels.FrameConduit`.  Records stage
+    into the channel; backpressure (a full staging buffer atop a full
+    kernel buffer) enters the shared wait-step/abandon loop."""
+
+    def __init__(self, channel: SocketChannel, peer: str, packer,
+                 flush_interval: int = 16,
+                 window: Optional[int] = None,
+                 wait_step=None):
+        super().__init__(peer, packer, flush_interval=flush_interval,
+                         window=window, wait_step=wait_step)
+        self.channel = channel
+
+    def _try_write(self, payload: bytes) -> bool:
+        return self.channel.try_write(payload)
+
+    def flush(self) -> None:
+        super().flush()
+        # a flush with nothing (newly) buffered still pushes staged
+        # bytes: blocked workers call flush before waiting, which is
+        # what drains the backlog of a previously backpressured write
+        if self._tx_pending():
+            self.channel.try_flush()
+
+    def _tx_pending(self) -> bool:
+        return bool(self.channel._tx) and not self.channel.closed

@@ -60,6 +60,8 @@ from ..errors import SimulationError
 from ..observability.tracer import RecordingTracer
 from .channels import EffectFrame, FrameConduit, FrameInbox, MetricFrame
 from .shm import FramePacker, ShmConduit, ShmRing
+from .socket_transport import (SocketChannel, SocketConduit,
+                               establish_channels)
 
 #: set in forked children so backend auto-selection never recurses
 IN_WORKER = False
@@ -132,7 +134,8 @@ class PartitionWorker:
                  heartbeat_s: float = 5.0,
                  die: Optional[Tuple[str, int]] = None,
                  rings: Optional[Dict[str, Tuple[ShmRing, ShmRing]]] = None,
-                 packer: Optional[FramePacker] = None):
+                 packer: Optional[FramePacker] = None,
+                 socket_plan: Optional[dict] = None):
         self.sim = sim
         self.name = name
         self.part = sim.partitions[name]
@@ -154,38 +157,66 @@ class PartitionWorker:
         self.peers_before = [p for p in by_order if order[p] < me_idx]
         self.peers_after = [p for p in by_order if order[p] > me_idx]
 
-        # data plane: a ring-backed conduit when the coordinator made a
-        # ring pair for this peer, a pipe conduit otherwise.  The data
-        # pipes stay registered for waiting even in ring mode — a peer
-        # never writes on them then, so the only event they can deliver
-        # is the EOF that signals the peer died (shared memory cannot).
+        # data plane, one conduit per peer out of three carriers: a
+        # socket channel when the rendezvous plan names the peer
+        # (cross-host, or the whole run under transport="socket"), a
+        # ring-backed conduit when the coordinator made a ring pair, a
+        # pipe conduit otherwise.  The data pipes stay registered for
+        # waiting even in ring mode — a peer never writes on them then,
+        # so the only event they can deliver is the EOF that signals
+        # the peer died (shared memory cannot; sockets signal it
+        # natively, so socket peers need no data pipes at all).
         rings = rings or {}
         self.packer = packer
         self._recv_rings: Dict[str, ShmRing] = {}
+        self._socket_chans: Dict[str, SocketChannel] = {}
         self._finalizing = False
         self.conduits: Dict[str, FrameConduit] = {}
         self.inboxes: Dict[str, FrameInbox] = {}
         self._conn_peer = {}
         self._wait_conns = [ctl_recv]
+        socket_peers: set = set()
+        channels: Dict[str, SocketChannel] = {}
+        if socket_plan is not None:
+            socket_peers = set(socket_plan["peers"]) & set(self.peers)
+            channels = establish_channels(
+                name,
+                [p for p in self.peers_before if p in socket_peers],
+                [p for p in self.peers_after if p in socket_peers],
+                socket_plan)
         for peer in self.peers:
-            recv_conn, send_conn = data_conns[peer]
-            if peer in rings:
+            if peer in socket_peers:
+                chan = channels[peer]
+                conduit = SocketConduit(
+                    chan, peer, packer,
+                    flush_interval=flush_interval, window=window,
+                    wait_step=(
+                        lambda p=peer: self._transport_wait_step(p)))
+                self._socket_chans[peer] = chan
+                self._conn_peer[chan] = peer
+                self._wait_conns.append(chan)
+            elif peer in rings:
+                recv_conn, _send_conn = data_conns[peer]
                 recv_ring, send_ring = rings[peer]
                 conduit = ShmConduit(
                     send_ring, peer, packer,
                     flush_interval=flush_interval, window=window,
-                    wait_step=(lambda p=peer: self._ring_wait_step(p)))
+                    wait_step=(
+                        lambda p=peer: self._transport_wait_step(p)))
                 self._recv_rings[peer] = recv_ring
+                self._conn_peer[recv_conn] = peer
+                self._wait_conns.append(recv_conn)
             else:
+                recv_conn, send_conn = data_conns[peer]
                 conduit = FrameConduit(send_conn, peer,
                                        flush_interval=flush_interval,
                                        window=window)
+                self._conn_peer[recv_conn] = peer
+                self._wait_conns.append(recv_conn)
             conduit.ack_source = (lambda p=peer: self._take_ack(p))
             self.conduits[peer] = conduit
             self.inboxes[peer] = FrameInbox(
                 peer, ack_every=max(1, flush_interval // 2))
-            self._conn_peer[recv_conn] = peer
-            self._wait_conns.append(recv_conn)
 
         # the wavefront schedule is compiled per-process: the parent
         # dispatched to the backend before compiling its own, and the
@@ -271,6 +302,9 @@ class PartitionWorker:
             self._abort_reason = msg[1]
 
     def _drain(self, conn) -> None:
+        if isinstance(conn, SocketChannel):
+            self._drain_socket(self._conn_peer[conn], conn)
+            return
         while True:
             try:
                 if not conn.poll():
@@ -297,6 +331,16 @@ class PartitionWorker:
         self._drain(self.ctl_recv)
         self._raise_control()
 
+    def _offer_packed(self, peer: str, payload: bytes) -> None:
+        """Apply one decoded binary record from a ring or socket."""
+        msg = self.packer.unpack(payload, peer)
+        if msg[0] == "frames":
+            _, frames, ack = msg
+            self.inboxes[peer].offer(frames)
+            self.conduits[peer].note_ack(ack)
+        else:
+            self.conduits[peer].note_ack(msg[1])
+
     def _drain_rings(self) -> bool:
         """Drain every incoming shared-memory ring; True when any record
         arrived.  Also called while blocked *writing* a full ring, which
@@ -306,20 +350,33 @@ class PartitionWorker:
         for peer, ring in self._recv_rings.items():
             for payload in ring.read_all():
                 got = True
-                msg = self.packer.unpack(payload, peer)
-                if msg[0] == "frames":
-                    _, frames, ack = msg
-                    self.inboxes[peer].offer(frames)
-                    self.conduits[peer].note_ack(ack)
-                else:
-                    self.conduits[peer].note_ack(msg[1])
+                self._offer_packed(peer, payload)
         return got
 
-    def _ring_wait_step(self, peer: str) -> bool:
-        """One polite spin of a conduit blocked on a full ring: keep
-        every other stream moving, then tell the writer whether to
-        abandon the batch (the receiver will never read it again)."""
+    def _drain_socket(self, peer: str, chan: SocketChannel) -> bool:
+        got = False
+        for payload in chan.drain():
+            got = True
+            self._offer_packed(peer, payload)
+        if chan.closed:
+            self._dead_peers.add(peer)
+            if chan in self._wait_conns:
+                self._wait_conns.remove(chan)
+        return got
+
+    def _drain_sockets(self) -> bool:
+        got = False
+        for peer, chan in list(self._socket_chans.items()):
+            got |= self._drain_socket(peer, chan)
+        return got
+
+    def _transport_wait_step(self, peer: str) -> bool:
+        """One polite spin of a conduit blocked on a full ring or a
+        backpressured socket: keep every other stream moving, then
+        tell the writer whether to abandon the batch (the receiver
+        will never read it again)."""
         self._drain_rings()
+        self._drain_sockets()
         for conn in _conn_wait(self._wait_conns, timeout=0.0005):
             self._drain(conn)
         self._raise_control()
@@ -592,7 +649,8 @@ def worker_main(sim, name, order, target_cycles, max_passes,
             heartbeat_s=options.get("heartbeat_s", 5.0),
             die=options.get("die"),
             rings=options.get("rings"),
-            packer=options.get("packer"))
+            packer=options.get("packer"),
+            socket_plan=options.get("socket"))
         worker.loop()
     except _Stop:
         # past the fence the remaining frames are empty service frames;

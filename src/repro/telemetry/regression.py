@@ -203,6 +203,18 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_token_plane.json", "detail_bit_identical",
                 1.0, 0.0, 0.0))
+    socket_tier = load("BENCH_socket_tier.json")
+    if socket_tier is not None:
+        speedup = socket_tier.get("socket_batching_speedup")
+        if speedup is not None and speedup < 1.0:
+            violations.append(Violation(
+                "BENCH_socket_tier.json",
+                "socket_batching_speedup", 1.0, speedup, 0.0))
+        identical = socket_tier.get("detail_bit_identical")
+        if identical is not None and not identical:
+            violations.append(Violation(
+                "BENCH_socket_tier.json", "detail_bit_identical",
+                1.0, 0.0, 0.0))
     return violations
 
 

@@ -43,11 +43,17 @@ def config_fingerprint(config: dict) -> str:
 
 
 def run_record(result, name: str = "", backend: str = "",
-               config: Optional[dict] = None) -> dict:
-    """Build the archive payload for one ``SimulationResult``."""
+               config: Optional[dict] = None,
+               extra: Optional[dict] = None) -> dict:
+    """Build the archive payload for one ``SimulationResult``.
+
+    ``extra`` merges additional top-level keys into the record (e.g.
+    the farm layer's ``{"farm": {placement, host_fmr, ...}}``); it may
+    not override the fixed schema fields.
+    """
     config = dict(config or {})
     detail = dict(result.detail)
-    return {
+    record = {
         "format": RUN_FORMAT,
         "version": RUN_VERSION,
         "name": name,
@@ -62,6 +68,13 @@ def run_record(result, name: str = "", backend: str = "",
         "per_partition_cycles": dict(result.per_partition_cycles),
         "detail": detail,
     }
+    for key, value in (extra or {}).items():
+        if key in record:
+            raise ReproError(
+                f"extra run-record key {key!r} collides with the "
+                "fixed schema")
+        record[key] = value
+    return record
 
 
 class RunRegistry:
@@ -75,10 +88,11 @@ class RunRegistry:
 
     def archive(self, result, name: str = "run",
                 backend: str = "", config: Optional[dict] = None,
-                run_id: Optional[str] = None) -> Path:
+                run_id: Optional[str] = None,
+                extra: Optional[dict] = None) -> Path:
         """Persist one run; returns the record path."""
         record = run_record(result, name=name, backend=backend,
-                            config=config)
+                            config=config, extra=extra)
         if run_id is None:
             run_id = self._new_id(name, record["fingerprint"])
         record["run_id"] = run_id

@@ -140,11 +140,15 @@ class LiveStatus:
                  min_interval_s: float = 0.2):
         self.path = Path(path)
         self.min_interval_s = min_interval_s
-        self._last_write = 0.0
+        # None until the first write: monotonic() counts from an
+        # arbitrary epoch (often boot), so seeding with 0.0 would
+        # throttle the very first update on a freshly booted machine
+        self._last_write: Optional[float] = None
 
     def update(self, payload: dict, force: bool = False) -> None:
         now = time.monotonic()
-        if not force and now - self._last_write < self.min_interval_s:
+        if not force and self._last_write is not None \
+                and now - self._last_write < self.min_interval_s:
             return
         self._last_write = now
         payload = dict(payload)

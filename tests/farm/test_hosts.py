@@ -1,0 +1,105 @@
+"""Farm host manifests: validation and JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FarmError
+from repro.farm import DEFAULT_LINK_CLASS, FarmSpec, HostSpec
+from repro.platform import ETHERNET_100G, QSFP_AURORA
+
+
+def two_hosts():
+    return [HostSpec("h0", cores=2), HostSpec("h1", cores=4)]
+
+
+class TestValidation:
+    def test_empty_farm_rejected(self):
+        with pytest.raises(FarmError, match="at least one host"):
+            FarmSpec([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FarmError, match="duplicate"):
+            FarmSpec([HostSpec("h0"), HostSpec("h0")])
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(FarmError, match="cores must be >= 1"):
+            FarmSpec([HostSpec("h0", cores=0)])
+
+    def test_unknown_default_link_rejected(self):
+        with pytest.raises(FarmError, match="unknown default link"):
+            FarmSpec(two_hosts(), default_link="carrier-pigeon")
+
+    def test_link_to_unknown_host_rejected(self):
+        with pytest.raises(FarmError, match="unknown host"):
+            FarmSpec(two_hosts(), links={("h0", "ghost"): "qsfp"})
+
+    def test_self_link_rejected(self):
+        with pytest.raises(FarmError, match="itself"):
+            FarmSpec(two_hosts(), links={("h0", "h0"): "qsfp"})
+
+    def test_unknown_link_class_rejected(self):
+        with pytest.raises(FarmError, match="unknown class"):
+            FarmSpec(two_hosts(), links={("h0", "h1"): "telepathy"})
+
+
+class TestQueries:
+    def test_link_class_is_unordered_and_defaults(self):
+        spec = FarmSpec(two_hosts(), links={("h1", "h0"): "qsfp"})
+        assert spec.link_class("h0", "h1") == "qsfp"
+        assert spec.link_class("h1", "h0") == "qsfp"
+        assert spec.link_model("h0", "h1") is QSFP_AURORA
+        spec2 = FarmSpec(two_hosts())
+        assert spec2.link_class("h0", "h1") == DEFAULT_LINK_CLASS
+        assert spec2.link_model("h0", "h1") is ETHERNET_100G
+
+    def test_mark_dead_excludes_from_live(self):
+        spec = FarmSpec(two_hosts())
+        assert [h.name for h in spec.live_hosts()] == ["h0", "h1"]
+        assert spec.total_cores() == 6
+        spec.mark_dead("h0")
+        assert [h.name for h in spec.live_hosts()] == ["h1"]
+        assert spec.total_cores() == 4
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        spec = FarmSpec(two_hosts(), default_link="ethernet",
+                        links={("h0", "h1"): "qsfp"})
+        path = tmp_path / "hosts.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = FarmSpec.from_file(path)
+        assert loaded.to_dict() == spec.to_dict()
+
+    def test_bare_string_hosts_accepted(self):
+        spec = FarmSpec.from_dict({"hosts": ["h0", "h1"]})
+        assert sorted(spec.hosts) == ["h0", "h1"]
+        assert spec.hosts["h0"].cores == 4  # the default budget
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(FarmError, match="not a farm host spec"):
+            FarmSpec.from_dict({"format": "something-else"})
+
+    def test_bad_host_entry_rejected(self):
+        with pytest.raises(FarmError, match="needs a 'name'"):
+            FarmSpec.from_dict({"hosts": [{"cores": 4}]})
+
+    def test_bad_link_entry_rejected(self):
+        with pytest.raises(FarmError, match="needs 'a', 'b'"):
+            FarmSpec.from_dict({"hosts": ["h0", "h1"],
+                                "links": [{"a": "h0"}]})
+
+    def test_unreadable_file_reports_path(self, tmp_path):
+        with pytest.raises(FarmError, match="cannot read host spec"):
+            FarmSpec.from_file(tmp_path / "missing.json")
+
+    def test_example_manifest_parses(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] \
+            / "examples" / "farm_hosts.json"
+        spec = FarmSpec.from_file(example)
+        assert len(spec.live_hosts()) >= 2
+        assert spec.link_class("xcl0", "xcl1") == "qsfp"
