@@ -1,0 +1,110 @@
+"""Generated-corpus scaling bench: how fast the scenario mill mills.
+
+Sweeps corpus sizes and measures the mill's three cost tiers per
+scenario — generate (parameter sampling only), compile (circuit build +
+FireRipper partitioning), and execute (one inproc differential run) —
+so mill overhead stays visible as the generator grows richer.  The
+deterministic side of the measurement is gated by ``repro regress``:
+every scenario in the largest corpus must compile (zero failures),
+fingerprints must be collision-free, and the corpus must exercise every
+shape the generator advertises.  The wall-clock rates are reported for
+trend-watching, not gated (CI machines vary).
+
+Results land in ``results/BENCH_fuzz_corpus.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fuzz import (
+    ALL_SHAPES,
+    build_scenario_circuit,
+    generate_scenario,
+    make_design,
+    make_sim,
+)
+
+SEED = 7
+SIZES = (10, 20, 40)
+PAPER_SIZES = (25, 50, 100, 200)
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _mill(size: int) -> dict:
+    """Generate/compile/execute ``size`` scenarios; per-tier timings."""
+    t0 = time.perf_counter()
+    scenarios = [generate_scenario(SEED, i) for i in range(size)]
+    t_gen = time.perf_counter() - t0
+
+    compile_failures = 0
+    t0 = time.perf_counter()
+    for sc in scenarios:
+        try:
+            build_scenario_circuit(sc)
+            make_design(sc)
+        except ReproError:
+            compile_failures += 1
+    t_compile = time.perf_counter() - t0
+
+    # execute a fixed slice so the execute tier stays comparable
+    # across corpus sizes (run cost dwarfs generate+compile)
+    runs = scenarios[:10]
+    t0 = time.perf_counter()
+    for sc in runs:
+        make_sim(sc).run(sc.cycles)
+    t_run = time.perf_counter() - t0
+
+    return {
+        "size": size,
+        "generate_per_s": round(size / t_gen) if t_gen > 0 else None,
+        "compile_per_s": round(size / t_compile, 1)
+        if t_compile > 0 else None,
+        "execute_per_s": round(len(runs) / t_run, 2)
+        if t_run > 0 else None,
+        "compile_failures": compile_failures,
+        "fingerprints": [sc.fingerprint for sc in scenarios],
+        "shapes": sorted({sc.shape for sc in scenarios}),
+    }
+
+
+def test_fuzz_corpus_scaling(paper_scale):
+    sizes = PAPER_SIZES if paper_scale else SIZES
+    sweeps = [_mill(size) for size in sizes]
+    largest = sweeps[-1]
+
+    payload = {
+        "seed": SEED,
+        "scenarios": largest["size"],
+        "distinct_fingerprints": len(set(largest["fingerprints"])),
+        "shapes_covered": len(largest["shapes"]),
+        "shapes_total": len(ALL_SHAPES),
+        "compile_failures": sum(s["compile_failures"] for s in sweeps),
+        "scaling": [
+            {key: sweep[key]
+             for key in ("size", "generate_per_s", "compile_per_s",
+                         "execute_per_s")}
+            for sweep in sweeps
+        ],
+    }
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    path = RESULTS / "BENCH_fuzz_corpus.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"scenario mill @ seed {SEED}:")
+    print(f"  {'size':>6} {'gen/s':>8} {'compile/s':>10} {'run/s':>7}")
+    for sweep in sweeps:
+        print(f"  {sweep['size']:>6} {sweep['generate_per_s']:>8} "
+              f"{sweep['compile_per_s']:>10} {sweep['execute_per_s']:>7}")
+    print(f"  shapes covered: {payload['shapes_covered']}"
+          f"/{payload['shapes_total']}; "
+          f"compile failures: {payload['compile_failures']}; "
+          f"fingerprint collisions: "
+          f"{payload['scenarios'] - payload['distinct_fingerprints']}")
+
+    assert payload["compile_failures"] == 0
+    assert payload["distinct_fingerprints"] == payload["scenarios"]
+    assert payload["shapes_covered"] == payload["shapes_total"]

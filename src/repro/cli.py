@@ -492,6 +492,83 @@ def cmd_autopartition(args) -> int:
     return 0
 
 
+def cmd_fuzz_run(args) -> int:
+    from .fuzz import ALL_SHAPES, FuzzConfig, GeneratorKnobs, run_campaign
+
+    shapes = tuple(args.shapes.split(",")) if args.shapes \
+        else ALL_SHAPES
+    config = FuzzConfig(
+        seed=args.seed, budget=args.budget,
+        start_index=args.start_index,
+        oracles=tuple(args.oracles.split(",")) if args.oracles
+        else FuzzConfig.oracles,
+        backends=tuple(args.backends.split(",")) if args.backends
+        else FuzzConfig.backends,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        knobs=GeneratorKnobs(shapes=shapes))
+    registry = RunRegistry(args.runs_dir) if args.archive else None
+    report = run_campaign(config, registry=registry,
+                          progress=print if args.verbose else None)
+    summary = report.summary()
+    print(f"fuzz: {summary['scenarios']} scenario(s) from seed "
+          f"{config.seed}, oracles {','.join(config.oracles)}, "
+          f"backends {','.join(config.backends)}")
+    print(f"shapes: " + ", ".join(
+        f"{shape}={count}"
+        for shape, count in sorted(summary["shapes"].items())))
+    print(f"elapsed: {summary['elapsed_s']:.1f}s"
+          + ("  (stopped early)" if summary["stopped_early"] else ""))
+    for outcome in report.errors:
+        print(f"  error [{outcome.index}] {outcome.shape}: "
+              f"{outcome.message}", file=sys.stderr)
+    for outcome in report.failures:
+        print(f"  FAILED [{outcome.index}] {outcome.shape}: "
+              f"{outcome.message}", file=sys.stderr)
+        if outcome.repro_path:
+            print(f"    repro: {outcome.repro_path}  "
+                  f"(replay with: repro fuzz replay "
+                  f"{outcome.repro_path})", file=sys.stderr)
+    if report.ok:
+        print("no disagreements found")
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz_replay(args) -> int:
+    from .errors import FuzzFailure
+    from .fuzz import replay
+
+    oracles = tuple(args.oracles.split(",")) if args.oracles else None
+    try:
+        notes = replay(args.repro, oracles=oracles)
+    except FuzzFailure as exc:
+        print(f"still failing: {exc}", file=sys.stderr)
+        return 1
+    print(f"repro replays clean: {args.repro}")
+    for oracle, note in notes.items():
+        status = note.get("status") or "ok"
+        print(f"  {oracle}: {status}")
+    return 0
+
+
+def cmd_fuzz_corpus(args) -> int:
+    from .fuzz import list_corpus
+
+    entries = list_corpus(args.corpus)
+    if not entries:
+        print(f"no repros under {args.corpus}")
+        return 0
+    for e in entries:
+        backend = f" backend={e['backend']}" if e["backend"] else ""
+        print(f"{e['path']}: {e['oracle']}{backend} "
+              f"{e['shape']} seed={e['seed']} index={e['index']} "
+              f"{e['num_partitions']} partition(s), "
+              f"{e['cycles']} cycles")
+    print(f"{len(entries)} repro(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -727,6 +804,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_auto.add_argument("--keep", action="append", metavar="INSTANCE",
                         help="pin an instance to the base partition")
     p_auto.set_defaults(fn=cmd_autopartition)
+
+    p_fuzz = subs.add_parser(
+        "fuzz",
+        help="scenario mill: differential fuzzing of generated "
+             "targets across backends, modes, checkpoints and faults")
+    fuzz_subs = p_fuzz.add_subparsers(dest="fuzz_command",
+                                      required=True)
+
+    p_frun = fuzz_subs.add_parser(
+        "run", help="generate scenarios and run the oracles; "
+                    "failures are shrunk to repro files")
+    p_frun.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (scenario i is a pure "
+                             "function of seed and i)")
+    p_frun.add_argument("--budget", type=int, default=50,
+                        help="number of scenarios to mill")
+    p_frun.add_argument("--start-index", type=int, default=0,
+                        help="first scenario index (resume a campaign)")
+    p_frun.add_argument("--shapes",
+                        help="comma-separated target shapes "
+                             "(default: all)")
+    p_frun.add_argument("--oracles",
+                        help="comma-separated oracles: identity,"
+                             "fastmode,checkpoint,faults "
+                             "(default: all)")
+    p_frun.add_argument("--backends",
+                        help="comma-separated backends for the "
+                             "identity oracle (default: all four)")
+    p_frun.add_argument("--corpus", default="results/fuzz-corpus",
+                        help="directory for failure repros")
+    p_frun.add_argument("--no-shrink", action="store_true",
+                        help="keep failing scenarios unminimized")
+    p_frun.add_argument("--max-failures", type=int, default=3,
+                        help="stop after this many failures")
+    p_frun.add_argument("--archive", action="store_true",
+                        help="archive the campaign summary under the "
+                             "run registry")
+    p_frun.add_argument("--runs-dir", default="results/runs")
+    p_frun.add_argument("--verbose", action="store_true",
+                        help="print per-scenario progress")
+    p_frun.set_defaults(fn=cmd_fuzz_run)
+
+    p_freplay = fuzz_subs.add_parser(
+        "replay", help="re-run a repro file through its oracle")
+    p_freplay.add_argument("repro", help="repro JSON path")
+    p_freplay.add_argument("--oracles",
+                           help="override the oracle list "
+                                "(default: the repro's own oracle)")
+    p_freplay.set_defaults(fn=cmd_fuzz_replay)
+
+    p_fcorpus = fuzz_subs.add_parser(
+        "corpus", help="list the repro corpus")
+    p_fcorpus.add_argument("--corpus", default="results/fuzz-corpus")
+    p_fcorpus.set_defaults(fn=cmd_fuzz_corpus)
 
     args = parser.parse_args(argv)
     try:

@@ -207,6 +207,38 @@ class CheckpointError(ReproError):
     """
 
 
+class FuzzFailure(SimulationError):
+    """A differential-fuzz oracle found a scenario where the backends
+    (or modes, or a checkpoint round-trip, or a fault-hardened run)
+    disagree.
+
+    Carries the minimized scenario so the failure is replayable:
+    ``repro fuzz replay <repro_path>`` re-runs the exact (circuit,
+    partition-spec, input-program, seed) tuple through the same oracle.
+
+    Attributes:
+        oracle: which oracle tripped (``identity``, ``fastmode``,
+            ``checkpoint``, ``faults``).
+        backend: the backend whose result diverged from the in-process
+            reference (empty for single-backend oracles).
+        scenario: the minimized scenario as a JSON-able dict.
+        repro_path: where the replayable repro file was written (None
+            when shrinking/persisting was disabled).
+    """
+
+    def __init__(self, oracle: str, backend: str, message: str,
+                 scenario: Optional[dict] = None,
+                 repro_path: Optional[str] = None):
+        self.oracle = oracle
+        self.backend = backend
+        self.scenario = dict(scenario or {})
+        self.repro_path = repro_path
+        where = f" on backend {backend!r}" if backend else ""
+        suffix = f" (repro: {repro_path})" if repro_path else ""
+        super().__init__(
+            f"fuzz oracle {oracle!r} failed{where}: {message}{suffix}")
+
+
 class LinkGiveUpError(TransportError):
     """A reliable link exhausted its retry budget for one token.
 

@@ -39,6 +39,7 @@ from .builder import (
     mux,
 )
 from .circuit import Circuit, Module
+from .fingerprint import circuit_fingerprint, elaboration_fingerprint
 from .parser import parse_circuit
 from .printer import print_circuit, print_expr, print_module
 
@@ -54,6 +55,8 @@ __all__ = [
     "cat",
     "build_circuit",
     "make_circuit",
+    "circuit_fingerprint",
+    "elaboration_fingerprint",
     "parse_circuit",
     "print_circuit",
     "print_module",

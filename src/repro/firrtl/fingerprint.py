@@ -1,0 +1,61 @@
+"""Structural fingerprints of circuits and elaborations.
+
+Two digests with two distinct jobs:
+
+* :func:`circuit_fingerprint` — a digest of the *source-level* IR (the
+  canonical textual printing), used by the scenario mill to prove that a
+  seeded generator is deterministic: identical seeds must yield
+  byte-identical circuits, across processes and regardless of
+  ``PYTHONHASHSEED``.  Two circuits with the same fingerprint print
+  identically, so they elaborate and simulate identically.
+* :func:`elaboration_fingerprint` — a digest of the *flattened* design
+  (signal widths, register inits, memory shapes), used by the
+  checkpoint layer's topology check: a checkpoint may only be restored
+  onto a partition whose elaborated RTL matches the one that was
+  captured, not merely one with the same channel names.
+
+Both digests are order-independent where the underlying structures are
+unordered (dicts are serialized sorted), so they are stable across
+Python hash randomization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from .printer import print_circuit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import Circuit
+
+FINGERPRINT_HEX_DIGITS = 16
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()[
+        :FINGERPRINT_HEX_DIGITS]
+
+
+def circuit_fingerprint(circuit: "Circuit") -> str:
+    """Hex digest of the canonical textual printing of ``circuit``."""
+    return _digest(print_circuit(circuit))
+
+
+def elaboration_fingerprint(elab) -> str:
+    """Hex digest of an elaborated design's structure.
+
+    ``elab`` is duck-typed (an :class:`~repro.rtl.elaborate.Elaboration`
+    or anything with ``widths``/``regs``/``mems`` mappings) so this
+    module stays import-free of the RTL layer.
+    """
+    parts = []
+    for name in sorted(elab.widths):
+        parts.append(f"w {name} {elab.widths[name]}")
+    for name in sorted(elab.regs):
+        reg = elab.regs[name]
+        parts.append(f"r {name} {reg.init}")
+    for name in sorted(elab.mems):
+        mem = elab.mems[name]
+        parts.append(f"m {name} {mem.depth}x{mem.width}")
+    return _digest("\n".join(parts))

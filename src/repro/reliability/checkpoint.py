@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
 from ..errors import CheckpointError
+from ..firrtl.fingerprint import elaboration_fingerprint
 from ..harness.partitioned import Link, PartitionedSimulation
 
 CHECKPOINT_FORMAT = "fireaxe-repro-partitioned-checkpoint"
@@ -56,6 +57,11 @@ def _topology(sim: PartitionedSimulation) -> dict:
         "partitions": {
             name: {
                 "units": [prefix for prefix, _ in p.units],
+                # elaborated-RTL digest per unit: a checkpoint may only
+                # land on the same flattened design, not merely one
+                # with matching channel names
+                "rtl": [elaboration_fingerprint(unit.sim.elab)
+                        for _, unit in p.units],
                 "in_channels": sorted(p.channel_names("in")),
                 "out_channels": sorted(p.channel_names("out")),
             }

@@ -19,7 +19,8 @@ Three kinds of checks, all threshold-configurable:
   fingerprint (the latest prior run of the same workload).
 * :func:`check_bench_files` — validate the committed
   ``results/BENCH_*.json`` measurements against their own bounds (the
-  null-tracer overhead cap, wire batching actually batching).
+  null-tracer overhead cap, wire batching actually batching, the fuzz
+  corpus compiling collision-free over every shape).
 
 The CI ``bench-regression`` job runs all of this via ``repro regress``
 and must fail on a >10% rate degradation — which the job proves by
@@ -203,6 +204,27 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_token_plane.json", "detail_bit_identical",
                 1.0, 0.0, 0.0))
+    fuzz_corpus = load("BENCH_fuzz_corpus.json")
+    if fuzz_corpus is not None:
+        failures = fuzz_corpus.get("compile_failures")
+        if failures is not None and failures > 0:
+            violations.append(Violation(
+                "BENCH_fuzz_corpus.json", "compile_failures",
+                0.0, float(failures), 0.0))
+        scenarios = fuzz_corpus.get("scenarios")
+        distinct = fuzz_corpus.get("distinct_fingerprints")
+        if scenarios is not None and distinct is not None \
+                and distinct < scenarios:
+            violations.append(Violation(
+                "BENCH_fuzz_corpus.json", "distinct_fingerprints",
+                float(scenarios), float(distinct), 0.0))
+        covered = fuzz_corpus.get("shapes_covered")
+        total = fuzz_corpus.get("shapes_total")
+        if covered is not None and total is not None \
+                and covered < total:
+            violations.append(Violation(
+                "BENCH_fuzz_corpus.json", "shapes_covered",
+                float(total), float(covered), 0.0))
     socket_tier = load("BENCH_socket_tier.json")
     if socket_tier is not None:
         speedup = socket_tier.get("socket_batching_speedup")

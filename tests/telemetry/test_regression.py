@@ -117,6 +117,29 @@ class TestCheckBenchFiles:
         }))
         assert check_bench_files(tmp_path) == []
 
+    def test_fuzz_corpus_violations_flag(self, tmp_path):
+        (tmp_path / "BENCH_fuzz_corpus.json").write_text(json.dumps({
+            "scenarios": 40,
+            "distinct_fingerprints": 39,
+            "shapes_covered": 5,
+            "shapes_total": 6,
+            "compile_failures": 2,
+        }))
+        violations = check_bench_files(tmp_path)
+        assert [v.metric for v in violations] == [
+            "compile_failures", "distinct_fingerprints",
+            "shapes_covered"]
+
+    def test_fuzz_corpus_clean_passes(self, tmp_path):
+        (tmp_path / "BENCH_fuzz_corpus.json").write_text(json.dumps({
+            "scenarios": 40,
+            "distinct_fingerprints": 40,
+            "shapes_covered": 6,
+            "shapes_total": 6,
+            "compile_failures": 0,
+        }))
+        assert check_bench_files(tmp_path) == []
+
     def test_empty_results_dir_passes(self, tmp_path):
         assert check_bench_files(tmp_path) == []
 
