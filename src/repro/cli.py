@@ -68,13 +68,7 @@ from .fireripper import (
     auto_partition,
 )
 from .firrtl import parse_circuit, print_circuit
-from .platform import (
-    ETHERNET_100G,
-    HOST_PCIE,
-    PCIE_P2P,
-    QSFP_AURORA,
-    XILINX_U250,
-)
+from .platform import XILINX_U250
 from .observability import (
     RecordingTracer,
     format_profile,
@@ -86,6 +80,7 @@ from .reliability import (
     harden_links,
     inject_faults,
 )
+from .service.executor import TRANSPORTS
 from .telemetry import (
     LiveStatus,
     RunRegistry,
@@ -94,13 +89,6 @@ from .telemetry import (
     format_comparison,
     run_gate,
 )
-
-TRANSPORTS = {
-    "qsfp": QSFP_AURORA,
-    "pcie": PCIE_P2P,
-    "host-pcie": HOST_PCIE,
-    "ethernet": ETHERNET_100G,
-}
 
 
 def _load(path: str):
@@ -320,10 +308,231 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _service_config(args):
+    from .service import ServiceConfig, TenantQuota
+    quotas = {}
+    for entry in args.quota or []:
+        tenant, _, spec = entry.partition(":")
+        if not tenant or not spec:
+            raise ReproError(
+                f"--quota wants TENANT:QUEUED:ACTIVE, got {entry!r}")
+        quotas[tenant] = TenantQuota.parse(spec)
+    default = TenantQuota.parse(args.default_quota) \
+        if args.default_quota else TenantQuota()
+    return ServiceConfig(
+        workers=args.workers, runs_dir=args.runs_dir,
+        live_dir=args.live_dir, metrics_every=args.metrics,
+        default_quota=default, quotas=quotas)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceServer, SimulationService
+
+    config = _service_config(args)
+
+    async def amain() -> None:
+        service = SimulationService(config)
+        await service.start()
+        server = ServiceServer(service, host=args.host,
+                               port=args.port)
+        await server.start()
+        print(f"repro service on {args.host}:{server.port} — "
+              f"{max(1, config.workers)} worker(s), "
+              f"cache at {service.registry.root}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+            await service.shutdown()
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _client(args):
+    from .service import ServiceClient, parse_server
+    host, port = parse_server(args.server)
+    return ServiceClient(host, port)
+
+
+def _print_job(record: dict) -> None:
+    line = (f"{record['job_id']} [{record['state']}] "
+            f"tenant={record['tenant']} fp={record['fingerprint']}")
+    if record.get("source"):
+        line += f" source={record['source']}"
+    print(line)
+    result = record.get("result")
+    if result and result.get("run_id"):
+        print(f"  run {result['run_id']}: "
+              f"{result['target_cycles']} cycles at "
+              f"{result.get('rate_hz', 0.0) / 1e3:.2f} kHz "
+              f"[{result.get('backend', '?')}]")
+    elif result and result.get("partial"):
+        print(f"  cancelled after {result['target_cycles']} cycles")
+    if record.get("error"):
+        print(f"  error: {record['error']}")
+
+
+def _submit_config(args) -> dict:
+    if args.config:
+        import json
+        try:
+            return json.loads(Path(args.config).read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot load --config "
+                             f"{args.config!r}: {exc}")
+    if args.experiment:
+        return {"kind": "experiment", "experiment": args.experiment}
+    if not args.circuit:
+        raise ReproError("submit wants a circuit file, "
+                         "--experiment NAME, or --config FILE")
+    config = {"kind": "simulate", "extract": args.extract or [],
+              "mode": args.mode, "transport": args.transport,
+              "freq": args.freq, "cycles": args.cycles,
+              "backend": args.backend}
+    if args.inline:
+        # ship the IR itself so the service need not share a
+        # filesystem with the submitter
+        config["circuit_text"] = Path(args.circuit).read_text()
+    else:
+        config["circuit"] = args.circuit
+    return config
+
+
+def cmd_submit(args) -> int:
+    from .service import TERMINAL
+    client = _client(args)
+    record = client.submit(_submit_config(args), tenant=args.tenant,
+                           priority=args.priority, name=args.name)
+    _print_job(record)
+    if not args.wait:
+        return 0 if record["state"] != "failed" else 1
+    if record["state"] not in TERMINAL:
+        record = client.wait(record["job_id"], timeout=args.timeout)
+        if record.get("timed_out"):
+            print(f"wait: timed out after {args.timeout:g}s "
+                  f"(job still {record['state']})", file=sys.stderr)
+            return 1
+        _print_job(record)
+    return 0 if record["state"] == "done" else 1
+
+
+def cmd_jobs(args) -> int:
+    client = _client(args)
+    records = client.jobs(tenant=args.tenant)
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        _print_job(record)
+    stats = client.stats()["counters"]
+    print(f"{len(records)} job(s)  "
+          f"executions={stats['executions']} "
+          f"cache_hits={stats['cache_hits']} "
+          f"coalesced={stats['coalesced']}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    client = _client(args)
+    record = client.cancel(args.job_id)
+    _print_job(record)
+    return 0
+
+
+def cmd_runs_list(args) -> int:
+    registry = RunRegistry(args.runs_dir)
+    entries = registry.index()
+    if args.fingerprint:
+        entries = {run_id: entry
+                   for run_id, entry in entries.items()
+                   if entry.get("fingerprint") == args.fingerprint}
+    if not entries:
+        print(f"no archived runs under {registry.root}")
+        return 0
+    for run_id in sorted(entries,
+                         key=lambda r: entries[r].get("created", "")):
+        entry = entries[run_id]
+        created = entry.get("created")
+        when = time.strftime("%Y-%m-%d %H:%M",
+                             time.localtime(created)) \
+            if isinstance(created, (int, float)) else "?"
+        print(f"{run_id}: fp={entry.get('fingerprint', '?')} "
+              f"{entry.get('target_cycles', 0)} cycles  "
+              f"rate {entry.get('rate_hz', 0.0) / 1e3:.2f} kHz  "
+              f"{entry.get('bytes', 0)} bytes  {when}")
+    print(f"{len(entries)} run(s), "
+          f"{registry.total_bytes()} bytes total")
+    return 0
+
+
+def cmd_runs_gc(args) -> int:
+    registry = RunRegistry(args.runs_dir)
+    max_age_s = args.max_age_days * 86400.0 \
+        if args.max_age_days is not None else None
+    pruned = registry.gc(max_age_s=max_age_s, keep=args.keep,
+                         max_bytes=args.max_bytes,
+                         dry_run=args.dry_run)
+    verb = "would prune" if args.dry_run else "pruned"
+    for run_id in pruned:
+        print(f"{verb} {run_id}")
+    kept = len(registry.index())
+    print(f"{verb} {len(pruned)} run(s); {kept} kept, "
+          f"{registry.total_bytes()} bytes")
+    return 0
+
+
+def _watch_job(args) -> int:
+    """Follow one service job: its live-status file while it runs,
+    falling back to state polling, until it is terminal."""
+    from .service import TERMINAL
+    client = _client(args)
+    deadline = time.monotonic() + args.timeout
+    last_updated = None
+    last_state = None
+    while True:
+        record = client.job(args.job)
+        if record["state"] != last_state:
+            last_state = record["state"]
+            print(f"{record['job_id']}: {record['state']}")
+        live_path = record.get("live_path")
+        payload = LiveStatus.read(live_path) if live_path else None
+        if payload is not None \
+                and payload.get("updated") != last_updated:
+            last_updated = payload.get("updated")
+            frontier = payload.get("frontier_cycle", 0)
+            target = payload.get("target_cycles")
+            progress = (f" / {target} "
+                        f"({frontier / target * 100.0:.1f}%)"
+                        if target else "")
+            print(f"[{payload.get('backend', '?')}] "
+                  f"cycle {frontier}{progress}  "
+                  f"rate {payload.get('rate_hz', 0.0) / 1e3:.2f} kHz  "
+                  f"{payload.get('status', '?')}")
+        if record["state"] in TERMINAL:
+            _print_job(record)
+            return 0 if record["state"] == "done" else 1
+        if args.once:
+            return 0
+        if time.monotonic() > deadline:
+            print("watch: timed out", file=sys.stderr)
+            return 1
+        time.sleep(args.poll)
+
+
 def cmd_watch(args) -> int:
     """Follow a live-status file until the run finishes (or times
     out).  ``--once`` prints a single snapshot — scripts and tests use
-    it to poll without blocking."""
+    it to poll without blocking.  ``--job ID --server HOST:PORT``
+    follows a service job instead (reusing the job's own live-status
+    file when the service keeps one)."""
+    if args.job:
+        return _watch_job(args)
     deadline = time.monotonic() + args.timeout
     last_updated = None
     while True:
@@ -703,10 +912,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_watch = subs.add_parser(
         "watch",
-        help="follow an in-flight run's live status file")
+        help="follow an in-flight run's live status file (or a "
+             "service job)")
     p_watch.add_argument("status", nargs="?", default="results/live.json",
                          help="status file written by simulate --live "
                               "(default: results/live.json)")
+    p_watch.add_argument("--job", metavar="JOB_ID",
+                         help="follow this service job instead of a "
+                              "status file (needs --server)")
+    p_watch.add_argument("--server", default="127.0.0.1",
+                         metavar="HOST[:PORT]",
+                         help="service endpoint for --job "
+                              "(default: 127.0.0.1:8642)")
     p_watch.add_argument("--poll", type=float, default=0.25,
                          help="poll interval in seconds")
     p_watch.add_argument("--timeout", type=float, default=300.0,
@@ -714,6 +931,123 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_watch.add_argument("--once", action="store_true",
                          help="print one snapshot and exit")
     p_watch.set_defaults(fn=cmd_watch)
+
+    p_serve = subs.add_parser(
+        "serve",
+        help="run the multi-tenant simulation service: JSON-over-HTTP "
+             "job queue with per-tenant quotas and a fingerprint-keyed "
+             "result cache over the run registry")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (default: 8642; 0 picks a "
+                              "free port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent simulation executions "
+                              "(default: 2)")
+    p_serve.add_argument("--runs-dir", default="results/runs",
+                         help="run registry that is both archive and "
+                              "result cache (default: results/runs)")
+    p_serve.add_argument("--live-dir", default=None, metavar="DIR",
+                         help="keep one live-status file per executed "
+                              "job here (repro watch --job follows it)")
+    p_serve.add_argument("--metrics", type=int, default=0, metavar="N",
+                         help="telemetry sample interval for executed "
+                              "jobs (0: none unless --live-dir)")
+    p_serve.add_argument("--quota", action="append",
+                         metavar="TENANT:QUEUED:ACTIVE",
+                         help="per-tenant quota override (repeatable)")
+    p_serve.add_argument("--default-quota", metavar="QUEUED:ACTIVE",
+                         help="quota for tenants without an override "
+                              "(default: 16:64)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_sub = subs.add_parser(
+        "submit",
+        help="submit a job to a running service (cache hits return "
+             "archived results without simulating)")
+    p_sub.add_argument("circuit", nargs="?",
+                       help="circuit file for a simulate job")
+    p_sub.add_argument("--extract", action="append", metavar="PATHS",
+                       help="comma-separated instance paths for one "
+                            "FPGA (repeatable)")
+    p_sub.add_argument("--mode", choices=["exact", "fast"],
+                       default=EXACT)
+    p_sub.add_argument("--transport", choices=TRANSPORTS,
+                       default="qsfp")
+    p_sub.add_argument("--freq", type=float, default=30.0)
+    p_sub.add_argument("--cycles", type=int, default=1000)
+    p_sub.add_argument("--backend",
+                       choices=["auto", "inproc", "process",
+                                "process-shm", "process-socket"],
+                       default="auto")
+    p_sub.add_argument("--inline", action="store_true",
+                       help="send the circuit text itself instead of "
+                            "its path (service on another filesystem)")
+    p_sub.add_argument("--experiment", metavar="NAME",
+                       help="submit a paper experiment instead of a "
+                            "circuit")
+    p_sub.add_argument("--config", metavar="FILE",
+                       help="submit a raw job config JSON file")
+    p_sub.add_argument("--server", default="127.0.0.1",
+                       metavar="HOST[:PORT]",
+                       help="service endpoint "
+                            "(default: 127.0.0.1:8642)")
+    p_sub.add_argument("--tenant", default="default")
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="higher runs first (default: 0)")
+    p_sub.add_argument("--name", default="",
+                       help="archive name for the run record")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job is terminal; exit 0 "
+                            "only on done")
+    p_sub.add_argument("--timeout", type=float, default=300.0,
+                       help="--wait deadline in seconds")
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_jobs = subs.add_parser(
+        "jobs", help="list a running service's jobs")
+    p_jobs.add_argument("--server", default="127.0.0.1",
+                        metavar="HOST[:PORT]")
+    p_jobs.add_argument("--tenant", default=None,
+                        help="only this tenant's jobs")
+    p_jobs.set_defaults(fn=cmd_jobs)
+
+    p_cancel = subs.add_parser(
+        "cancel", help="cancel a service job (queued or running)")
+    p_cancel.add_argument("job_id")
+    p_cancel.add_argument("--server", default="127.0.0.1",
+                          metavar="HOST[:PORT]")
+    p_cancel.set_defaults(fn=cmd_cancel)
+
+    p_runs = subs.add_parser(
+        "runs",
+        help="inspect and prune the run registry (the service's "
+             "result cache)")
+    runs_subs = p_runs.add_subparsers(dest="runs_command",
+                                      required=True)
+
+    p_rlist = runs_subs.add_parser(
+        "list", help="list archived runs from the registry index")
+    p_rlist.add_argument("--runs-dir", default="results/runs")
+    p_rlist.add_argument("--fingerprint", metavar="FP",
+                         help="only runs of this config fingerprint")
+    p_rlist.set_defaults(fn=cmd_runs_list)
+
+    p_rgc = runs_subs.add_parser(
+        "gc", help="prune archived runs by age / count / total size "
+                   "(oldest first)")
+    p_rgc.add_argument("--runs-dir", default="results/runs")
+    p_rgc.add_argument("--max-age-days", type=float, default=None,
+                       help="prune runs older than this many days")
+    p_rgc.add_argument("--keep", type=int, default=None,
+                       help="keep at most this many newest runs")
+    p_rgc.add_argument("--max-bytes", type=int, default=None,
+                       help="prune oldest runs until the registry "
+                            "fits this many bytes")
+    p_rgc.add_argument("--dry-run", action="store_true",
+                       help="report what would be pruned, delete "
+                            "nothing")
+    p_rgc.set_defaults(fn=cmd_runs_gc)
 
     p_reg = subs.add_parser(
         "regress",

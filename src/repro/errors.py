@@ -239,6 +239,50 @@ class FuzzFailure(SimulationError):
             f"fuzz oracle {oracle!r} failed{where}: {message}{suffix}")
 
 
+class ServiceError(ReproError):
+    """A malformed or unserviceable simulation-service request (bad
+    job config, unknown job kind, an experiment that produced nothing
+    to archive, ...)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's submission exceeded its admission quota.
+
+    Raised at submit time, before the job enters the queue, so the
+    rejected request costs the service nothing.  Cache hits and
+    coalesced (single-flight) submissions are not counted against the
+    quota — only jobs that would occupy queue or worker capacity.
+
+    Attributes:
+        tenant: the submitting tenant.
+        kind: which limit tripped (``queued`` or ``active``).
+        limit: the configured ceiling.
+        current: the tenant's count at rejection time.
+    """
+
+    def __init__(self, tenant: str, kind: str, limit: int,
+                 current: int):
+        self.tenant = tenant
+        self.kind = kind
+        self.limit = limit
+        self.current = current
+        super().__init__(
+            f"tenant {tenant!r} exceeded its {kind} quota "
+            f"({current} >= {limit})")
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in this service.
+
+    Attributes:
+        job_id: the unknown id.
+    """
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"no such job: {job_id!r}")
+
+
 class LinkGiveUpError(TransportError):
     """A reliable link exhausted its retry budget for one token.
 

@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..observability import profile_session
 from ..parallel import fanout
 from . import (
@@ -63,6 +64,23 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "reliability":
         lambda: reliability.format_table(reliability.run()),
 }
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by exact name, returning its formatted text.
+
+    The library entry point the simulation service dispatches
+    ``{"kind": "experiment"}`` jobs through; raises a typed error (not
+    ``KeyError``) for unknown names so the failure maps to a job
+    failure instead of a service crash.
+    """
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}")
+    return fn()
 
 
 def select(patterns: List[str]) -> List[str]:
@@ -118,7 +136,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             # the ambient session also captures every partitioned
             # result, which is what --archive persists
             with profile_session() as session:
-                text = EXPERIMENTS[name]()
+                text = run_experiment(name)
             if args.profile:
                 text += "\n\n" + session.summary()
             if registry is not None and session.results:
@@ -127,7 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     config={"experiment": name})
                 text += f"\n[archived {path}]"
         else:
-            text = EXPERIMENTS[name]()
+            text = run_experiment(name)
         return text, time.time() - start
 
     if jobs > 1:

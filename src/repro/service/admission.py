@@ -1,0 +1,147 @@
+"""Admission control: per-tenant quotas over a priority queue.
+
+At millions-of-users scale the queue is the contended resource, so
+admission happens *before* a job costs anything: a submission that
+would push its tenant past quota is rejected with a typed
+:class:`~repro.errors.QuotaExceededError` and never enters the heap.
+Cache hits and coalesced submissions bypass admission entirely — they
+occupy no queue slot and no worker, so rejecting them would only
+punish the cheap requests.
+
+Scheduling order is strict priority (larger number first), FIFO within
+a priority level (a monotonic sequence number breaks ties), matching
+the paper's framing of partitioned simulation as a batch workload:
+short interactive probes outrank bulk sweeps without starving them of
+eventual service.
+
+The controller is single-threaded by design — every mutation happens
+on the service's event loop — so there are no locks to get wrong.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import QuotaExceededError, ServiceError
+from .jobs import Job
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    Attributes:
+        max_queued: jobs the tenant may have waiting in the queue.
+        max_active: jobs the tenant may have admitted and not yet
+            terminal (queued + running); the queue limit bounds burst
+            submissions, the active limit bounds worker occupancy.
+    """
+
+    max_queued: int = 16
+    max_active: int = 64
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """``QUEUED:ACTIVE`` (e.g. ``4:8``) -> quota."""
+        try:
+            queued, active = text.split(":")
+            return cls(max_queued=int(queued), max_active=int(active))
+        except ValueError:
+            raise ServiceError(
+                f"quota wants QUEUED:ACTIVE, got {text!r}")
+
+
+class AdmissionController:
+    """The quota-checked priority queue in front of the worker pool."""
+
+    def __init__(self, default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None):
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        #: heap of (-priority, seq, job) — max-priority, FIFO in ties
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = 0
+        self._queued: Dict[str, int] = {}
+        self._active: Dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    # -- admission --------------------------------------------------------
+
+    def admit(self, job: Job) -> None:
+        """Quota-check and enqueue one job; raises
+        :class:`QuotaExceededError` without enqueueing on violation."""
+        quota = self.quota_for(job.tenant)
+        queued = self._queued.get(job.tenant, 0)
+        active = self._active.get(job.tenant, 0)
+        if queued >= quota.max_queued:
+            raise QuotaExceededError(job.tenant, "queued",
+                                     quota.max_queued, queued)
+        if active >= quota.max_active:
+            raise QuotaExceededError(job.tenant, "active",
+                                     quota.max_active, active)
+        self.requeue(job)
+
+    def requeue(self, job: Job) -> None:
+        """Enqueue bypassing the quota check — used when a coalesced
+        follower is promoted to leader after its leader was cancelled
+        (the follower was already accepted once; re-judging it against
+        the quota could strand an accepted request)."""
+        heapq.heappush(self._heap, (-job.priority, self._seq, job))
+        self._seq += 1
+        job.admitted = True
+        self._queued[job.tenant] = self._queued.get(job.tenant, 0) + 1
+        self._active[job.tenant] = self._active.get(job.tenant, 0) + 1
+
+    def pop(self) -> Optional[Job]:
+        """The highest-priority queued job (None when empty).  The
+        caller owns the popped job's fate; cancelled-while-queued jobs
+        are popped like any other and skipped by the worker."""
+        if not self._heap:
+            return None
+        _, _, job = heapq.heappop(self._heap)
+        count = self._queued.get(job.tenant, 0) - 1
+        if count > 0:
+            self._queued[job.tenant] = count
+        else:
+            self._queued.pop(job.tenant, None)
+        return job
+
+    def release(self, job: Job) -> None:
+        """Return one admitted job's active slot (exactly once per
+        admitted job, when it reaches a terminal state)."""
+        count = self._active.get(job.tenant, 0) - 1
+        if count > 0:
+            self._active[job.tenant] = count
+        else:
+            self._active.pop(job.tenant, None)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def queued_total(self) -> int:
+        return len(self._heap)
+
+    @property
+    def active_total(self) -> int:
+        return sum(self._active.values())
+
+    def snapshot(self) -> dict:
+        """Per-tenant admission state for ``/stats``."""
+        tenants = sorted(set(self._queued) | set(self._active))
+        return {
+            "queued": self.queued_total,
+            "active": self.active_total,
+            "tenants": {
+                tenant: {
+                    "queued": self._queued.get(tenant, 0),
+                    "active": self._active.get(tenant, 0),
+                    "max_queued": self.quota_for(tenant).max_queued,
+                    "max_active": self.quota_for(tenant).max_active,
+                }
+                for tenant in tenants
+            },
+        }

@@ -1,0 +1,115 @@
+"""Fingerprint-keyed result cache over the run registry.
+
+The economics of a simulation service are dominated by repeats: at
+scale, most submissions are configurations someone already ran
+(LightningSimV2's observation, and the reason the RunRegistry stores a
+``config_fingerprint`` with every archived run).  The cache exploits
+that in two layers:
+
+* **Archived hits** — :meth:`ResultCache.lookup` asks the registry for
+  the newest archived run of the config's fingerprint.  A hit costs
+  one index read plus one record read; the job completes at submit
+  time without touching the queue.  Because every field of a run
+  record derives from the deterministic timing overlay, the served
+  record is bit-identical to what re-simulating would produce.
+* **Single-flight coalescing** — identical configs submitted while the
+  first is still queued or running attach to that leader
+  (:class:`SingleFlight`) instead of executing again.  N simultaneous
+  identical requests cost one simulation; followers complete (or fail)
+  with the leader.  If the leader is cancelled, its first follower is
+  promoted so accepted requests are never stranded.
+
+Misses archive on completion (:meth:`ResultCache.store`), so the first
+execution of any config fills the cache for every later request.
+Eviction is the registry's ``gc`` (age/count/size pruning behind
+``repro runs gc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..telemetry.runs import RunRegistry
+from .jobs import Job
+
+
+@dataclass
+class InFlightEntry:
+    """One fingerprint's in-flight execution: the leader doing the
+    work and the followers riding it."""
+
+    leader: Job
+    followers: List[Job] = field(default_factory=list)
+
+
+class SingleFlight:
+    """The in-flight table: fingerprint -> :class:`InFlightEntry`.
+
+    Single-threaded (event-loop-only) by design, like admission.
+    """
+
+    def __init__(self):
+        self._inflight: Dict[str, InFlightEntry] = {}
+
+    def leader_for(self, fingerprint: str) -> Optional[InFlightEntry]:
+        return self._inflight.get(fingerprint)
+
+    def begin(self, fingerprint: str, job: Job) -> InFlightEntry:
+        entry = InFlightEntry(leader=job)
+        self._inflight[fingerprint] = entry
+        return entry
+
+    def attach(self, fingerprint: str, job: Job) -> InFlightEntry:
+        entry = self._inflight[fingerprint]
+        entry.followers.append(job)
+        return entry
+
+    def finish(self, fingerprint: str) -> Optional[InFlightEntry]:
+        """Pop the entry; the caller completes/fails/requeues the
+        followers."""
+        return self._inflight.pop(fingerprint, None)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+
+class ResultCache:
+    """Registry-backed result cache with hit/miss/fill counters."""
+
+    def __init__(self, registry: RunRegistry):
+        self.registry = registry
+        self.flight = SingleFlight()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+
+    def lookup(self, fingerprint: str) -> Optional[dict]:
+        """The newest archived run record of ``fingerprint``, or None."""
+        self.lookups += 1
+        record = self.registry.latest(fingerprint)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def store(self, result, job: Job, backend: str = "",
+              extra: Optional[dict] = None) -> dict:
+        """Archive one executed job's result (the cache fill); returns
+        the archived record as it will be served to future hits."""
+        path = self.registry.archive(
+            result, name=job.name or job.tenant, backend=backend,
+            config=job.config, extra=extra)
+        self.fills += 1
+        return self.registry.load(path.parent.name)
+
+    def stats(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "in_flight": len(self.flight),
+        }

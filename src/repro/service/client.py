@@ -1,0 +1,137 @@
+"""Blocking client for the service's JSON-over-HTTP endpoint.
+
+Speaks the same minimal one-shot HTTP/1.1 the server serves (stdlib
+sockets only — symmetric with the hand-rolled server and free of
+``urllib`` redirect/proxy magic).  Error responses are re-raised as
+the same typed exceptions the service raised on its side:
+``QuotaExceededError`` for 429, ``JobNotFoundError`` for 404,
+``ServiceError`` otherwise — so CLI and tests handle one error
+vocabulary whether they run in-process or over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import List, Optional, Tuple
+
+from ..errors import (
+    JobNotFoundError,
+    QuotaExceededError,
+    ServiceError,
+)
+
+DEFAULT_PORT = 8642
+
+
+def parse_server(text: str) -> Tuple[str, int]:
+    """``HOST[:PORT]`` -> (host, port); bare ``:PORT`` keeps the
+    default host."""
+    host, _, port = text.rpartition(":")
+    if not host:
+        host, port = (text, "") if not text.startswith(":") else \
+            ("", text[1:])
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port) if port else DEFAULT_PORT
+    except ValueError:
+        raise ServiceError(f"--server wants HOST[:PORT], got {text!r}")
+
+
+class ServiceClient:
+    """One service endpoint, addressed for repeated blocking calls."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- the wire ---------------------------------------------------------
+
+    def request(self, method: str, path: str, body: Optional[dict] = None,
+                timeout: Optional[float] = None) -> Tuple[int, dict]:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        try:
+            with socket.create_connection(
+                    (self.host, self.port),
+                    timeout=timeout or self.timeout) as conn:
+                conn.sendall(head + payload)
+                chunks = []
+                while True:
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{exc}")
+        raw = b"".join(chunks)
+        header, _, body_bytes = raw.partition(b"\r\n\r\n")
+        try:
+            status = int(header.split(None, 2)[1])
+            parsed = json.loads(body_bytes) if body_bytes else {}
+        except (IndexError, ValueError) as exc:
+            raise ServiceError(f"malformed service response: {exc}")
+        return status, parsed
+
+    def _call(self, method: str, path: str,
+              body: Optional[dict] = None,
+              timeout: Optional[float] = None) -> dict:
+        status, payload = self.request(method, path, body,
+                                       timeout=timeout)
+        if status < 400:
+            return payload
+        kind = payload.get("type", "")
+        message = payload.get("error", f"HTTP {status}")
+        if kind == "QuotaExceededError":
+            raise QuotaExceededError(
+                payload.get("tenant", "?"), payload.get("kind", "?"),
+                payload.get("limit", 0), payload.get("current", 0))
+        if kind == "JobNotFoundError":
+            raise JobNotFoundError(payload.get("job_id", "?"))
+        raise ServiceError(message)
+
+    # -- the API ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def submit(self, config: dict, tenant: str = "default",
+               priority: int = 0, name: str = "") -> dict:
+        return self._call("POST", "/jobs", {
+            "config": config, "tenant": tenant,
+            "priority": priority, "name": name})
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def jobs(self, tenant: Optional[str] = None) -> List[dict]:
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._call("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Long-poll until the job is terminal; returns the record
+        (``timed_out: true`` when the deadline lapsed first)."""
+        status, payload = self.request(
+            "GET", f"/jobs/{job_id}/wait?timeout={timeout:g}",
+            timeout=timeout + self.timeout)
+        if status == 408:
+            return payload
+        if status >= 400:
+            if payload.get("type") == "JobNotFoundError":
+                raise JobNotFoundError(payload.get("job_id", "?"))
+            raise ServiceError(payload.get("error", f"HTTP {status}"))
+        return payload

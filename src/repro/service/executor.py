@@ -1,0 +1,192 @@
+"""Execute one service job config synchronously.
+
+A job config is a plain JSON dict naming what to run.  Two kinds:
+
+* ``{"kind": "simulate", ...}`` — compile a circuit (from a ``circuit``
+  file path or inline ``circuit_text``), partition it per ``extract``,
+  and run it on one of the four execution backends (``inproc``,
+  ``process``, ``process-shm``, ``process-socket``),
+* ``{"kind": "experiment", "experiment": NAME}`` — one of the paper's
+  table/figure experiments; the final partitioned run it performs is
+  what gets archived (and therefore cached).
+
+:func:`normalize_config` fills every default *before* the config is
+fingerprinted, so semantically identical requests — one spelling
+``cycles`` explicitly, one relying on the default — hash to the same
+cache key.  This is the function that decides cache identity; keep it
+deterministic and order-insensitive.
+
+``should_stop`` threads the service's cancellation signal into the
+harness's per-pass ``stop`` hook, so a cancel lands within one
+wavefront pass instead of after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from ..errors import ServiceError
+from ..fireripper import FireRipper, PartitionGroup, PartitionSpec
+from ..firrtl import parse_circuit
+from ..platform import (
+    ETHERNET_100G,
+    HOST_PCIE,
+    PCIE_P2P,
+    QSFP_AURORA,
+)
+
+#: transport name -> modelled transport profile (the CLI shares this)
+TRANSPORTS = {
+    "qsfp": QSFP_AURORA,
+    "pcie": PCIE_P2P,
+    "host-pcie": HOST_PCIE,
+    "ethernet": ETHERNET_100G,
+}
+
+SIMULATE_DEFAULTS = {
+    "mode": "exact",
+    "transport": "qsfp",
+    "freq": 30.0,
+    "cycles": 1000,
+    "backend": "auto",
+}
+
+
+@dataclass
+class ExecutionOutcome:
+    """One executed job: the result, the backend that actually ran it,
+    and extra top-level keys for the archived record."""
+
+    result: object
+    backend: str
+    extra: Optional[dict] = None
+
+
+def _normalize_extract(extract) -> List[List[str]]:
+    if not isinstance(extract, (list, tuple)) or not extract:
+        raise ServiceError(
+            "simulate config wants a non-empty 'extract' list "
+            "(one entry per FPGA)")
+    groups = []
+    for entry in extract:
+        if isinstance(entry, str):
+            paths = [p for p in entry.split(",") if p]
+        elif isinstance(entry, (list, tuple)):
+            paths = [str(p) for p in entry]
+        else:
+            raise ServiceError(
+                f"extract entries are strings or lists, got {entry!r}")
+        if not paths:
+            raise ServiceError("empty extract group")
+        groups.append(paths)
+    return groups
+
+
+def normalize_config(config: dict) -> dict:
+    """Validate and canonicalize a job config — defaults filled, types
+    coerced — so the fingerprint of two equivalent requests matches."""
+    if not isinstance(config, dict):
+        raise ServiceError(f"job config must be a dict, got "
+                           f"{type(config).__name__}")
+    kind = config.get("kind", "simulate")
+    if kind == "simulate":
+        normalized = {"kind": "simulate"}
+        if "circuit_text" in config:
+            normalized["circuit_text"] = str(config["circuit_text"])
+        elif "circuit" in config:
+            normalized["circuit"] = str(config["circuit"])
+        else:
+            raise ServiceError(
+                "simulate config wants 'circuit' (a file path) or "
+                "'circuit_text' (inline IR)")
+        normalized["extract"] = _normalize_extract(
+            config.get("extract"))
+        for key, default in SIMULATE_DEFAULTS.items():
+            value = config.get(key, default)
+            normalized[key] = type(default)(value)
+        if normalized["transport"] not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {normalized['transport']!r}; "
+                f"valid: {', '.join(sorted(TRANSPORTS))}")
+        if normalized["cycles"] < 1:
+            raise ServiceError("cycles must be >= 1")
+        unknown = set(config) - set(normalized) - {"extract"}
+        if unknown:
+            raise ServiceError(
+                f"unknown simulate config key(s): "
+                f"{', '.join(sorted(unknown))}")
+        return normalized
+    if kind == "experiment":
+        name = config.get("experiment")
+        if not name or not isinstance(name, str):
+            raise ServiceError(
+                "experiment config wants an 'experiment' name")
+        unknown = set(config) - {"kind", "experiment"}
+        if unknown:
+            raise ServiceError(
+                f"unknown experiment config key(s): "
+                f"{', '.join(sorted(unknown))}")
+        return {"kind": "experiment", "experiment": name}
+    raise ServiceError(
+        f"unknown job kind {kind!r}; valid: simulate, experiment")
+
+
+def build_simulation(config: dict, telemetry=None):
+    """Compile and wire the partitioned simulation a normalized
+    simulate config describes (no run)."""
+    if "circuit_text" in config:
+        text = config["circuit_text"]
+    else:
+        path = Path(config["circuit"])
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ServiceError(f"cannot read circuit "
+                               f"{config['circuit']!r}: {exc}")
+    circuit = parse_circuit(text)
+    groups = [PartitionGroup.make(f"fpga{i}", paths)
+              for i, paths in enumerate(config["extract"])]
+    spec = PartitionSpec(mode=config["mode"], groups=groups)
+    design = FireRipper(spec).compile(circuit)
+    return design.build_simulation(
+        TRANSPORTS[config["transport"]],
+        host_freq_mhz=config["freq"],
+        telemetry=telemetry)
+
+
+def execute_config(config: dict, telemetry=None,
+                   should_stop: Optional[Callable[[], bool]] = None
+                   ) -> ExecutionOutcome:
+    """Run one normalized job config to completion (or until
+    ``should_stop`` fires) and return the outcome."""
+    kind = config.get("kind", "simulate")
+    if kind == "simulate":
+        sim = build_simulation(config, telemetry=telemetry)
+        stop = None
+        if should_stop is not None:
+            def stop(_sim, _check=should_stop):  # noqa: F811
+                return _check()
+        result = sim.run(config["cycles"], stop=stop,
+                         backend=config["backend"])
+        return ExecutionOutcome(result,
+                                sim.last_run_backend or "inproc")
+    if kind == "experiment":
+        # imported lazily: the experiment modules pull in every target
+        # and sweep, which a simulate-only service never needs
+        from ..experiments.runner import run_experiment
+        from ..observability import profile_session
+        if should_stop is not None and should_stop():
+            raise ServiceError("cancelled before start")
+        with profile_session() as session:
+            text = run_experiment(config["experiment"])
+        if not session.results:
+            raise ServiceError(
+                f"experiment {config['experiment']!r} performed no "
+                "partitioned run to archive")
+        extra = {"experiment": {"name": config["experiment"],
+                                "text": text}}
+        return ExecutionOutcome(session.results[-1], "inproc",
+                                extra=extra)
+    raise ServiceError(f"unknown job kind {kind!r}")

@@ -225,6 +225,27 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_fuzz_corpus.json", "shapes_covered",
                 float(total), float(covered), 0.0))
+    service = load("BENCH_service.json")
+    if service is not None:
+        floor = service.get("cached_speedup_floor", 10.0)
+        speedup = service.get("cached_speedup")
+        if speedup is not None and speedup < floor:
+            violations.append(Violation(
+                "BENCH_service.json", "cached_speedup",
+                floor, speedup, 0.0))
+        identical = service.get("detail_bit_identical")
+        if identical is not None and not identical:
+            violations.append(Violation(
+                "BENCH_service.json", "detail_bit_identical",
+                1.0, 0.0, 0.0))
+        executions = service.get("executions")
+        distinct = service.get("distinct_configs")
+        if executions is not None and distinct is not None \
+                and executions > distinct:
+            # repeats re-simulated: the cache failed its one job
+            violations.append(Violation(
+                "BENCH_service.json", "executions",
+                float(distinct), float(executions), 0.0))
     socket_tier = load("BENCH_socket_tier.json")
     if socket_tier is not None:
         speedup = socket_tier.get("socket_batching_speedup")

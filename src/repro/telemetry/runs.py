@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,8 @@ from ..observability.fmr import FMR_COMPONENTS
 
 RUN_FORMAT = "fireaxe-repro-run"
 RUN_VERSION = 1
+INDEX_FORMAT = "fireaxe-repro-run-index"
+INDEX_FILE = "index.json"
 
 
 def config_fingerprint(config: dict) -> str:
@@ -79,7 +82,18 @@ def run_record(result, name: str = "", backend: str = "",
 
 class RunRegistry:
     """Archive of runs under one directory (``results/runs`` by
-    default)."""
+    default).
+
+    As a cache substrate the registry keeps an ``index.json`` beside
+    the run directories mapping ``run_id`` to its fingerprint,
+    creation time and on-disk size, so fingerprint lookups
+    (:meth:`latest`, :meth:`trajectory`) read one small file plus the
+    matching record instead of parsing every ``run.json``.  Both the
+    records and the index are written via atomic tmp+rename, so
+    concurrent readers never observe a torn file; the index is
+    validated against the directory names and rebuilt from a scan
+    whenever runs appeared or vanished behind the registry's back.
+    """
 
     def __init__(self, root: Union[str, Path] = "results/runs"):
         self.root = Path(root)
@@ -101,6 +115,9 @@ class RunRegistry:
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(record, indent=2, sort_keys=True))
         tmp.replace(path)
+        entries = self.index()
+        entries[run_id] = self._index_entry(record, path)
+        self._write_index(entries)
         return path
 
     def _new_id(self, name: str, fingerprint: str) -> str:
@@ -109,6 +126,139 @@ class RunRegistry:
         while (self.root / f"{prefix}-{seq:04d}").exists():
             seq += 1
         return f"{prefix}-{seq:04d}"
+
+    def remove(self, run_id: str) -> None:
+        """Delete one archived run and its index entry."""
+        path = self.root / run_id
+        if not (path / "run.json").is_file():
+            raise ReproError(f"no archived run {run_id!r} under "
+                             f"{self.root}")
+        shutil.rmtree(path)
+        entries = self.index()
+        entries.pop(run_id, None)
+        self._write_index(entries)
+
+    def gc(self, max_age_s: Optional[float] = None,
+           keep: Optional[int] = None,
+           max_bytes: Optional[int] = None,
+           dry_run: bool = False,
+           now: Optional[float] = None) -> List[str]:
+        """Cache eviction: prune archived runs, oldest first.
+
+        Three independent policies compose (any may be None):
+
+        * ``max_age_s`` — drop runs older than this many seconds,
+        * ``keep`` — keep at most this many runs (newest survive),
+        * ``max_bytes`` — drop oldest runs until the total archive
+          size fits the budget.
+
+        Returns the pruned run ids (oldest first); ``dry_run`` reports
+        without deleting.
+        """
+        now = time.time() if now is None else now
+        entries = self.index()
+        survivors = sorted(entries.items(),
+                           key=lambda kv: kv[1].get("created", 0.0))
+        pruned: List[str] = []
+
+        def prune(run_id: str) -> None:
+            pruned.append(run_id)
+
+        if max_age_s is not None:
+            fresh = []
+            for run_id, entry in survivors:
+                if now - entry.get("created", 0.0) > max_age_s:
+                    prune(run_id)
+                else:
+                    fresh.append((run_id, entry))
+            survivors = fresh
+        if keep is not None and len(survivors) > keep:
+            excess = len(survivors) - keep
+            for run_id, _ in survivors[:excess]:
+                prune(run_id)
+            survivors = survivors[excess:]
+        if max_bytes is not None:
+            total = sum(e.get("bytes", 0) for _, e in survivors)
+            while survivors and total > max_bytes:
+                run_id, entry = survivors.pop(0)
+                total -= entry.get("bytes", 0)
+                prune(run_id)
+        if not dry_run:
+            for run_id in pruned:
+                shutil.rmtree(self.root / run_id, ignore_errors=True)
+            if pruned:
+                for run_id in pruned:
+                    entries.pop(run_id, None)
+                self._write_index(entries)
+        return pruned
+
+    # -- index ------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / INDEX_FILE
+
+    @staticmethod
+    def _index_entry(record: dict, path: Path) -> dict:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "fingerprint": record.get("fingerprint", ""),
+            "name": record.get("name", ""),
+            "created": record.get("created", 0.0),
+            "rate_hz": record.get("rate_hz", 0.0),
+            "target_cycles": record.get("target_cycles", 0),
+            "bytes": size,
+        }
+
+    def index(self) -> Dict[str, dict]:
+        """``run_id -> {fingerprint, created, bytes, ...}`` for every
+        archived run; rebuilt by scanning when missing or when the run
+        directories no longer match it (cheap name-set check — no
+        record is parsed on the happy path)."""
+        data = None
+        try:
+            payload = json.loads(self._index_path.read_text())
+            if payload.get("format") == INDEX_FORMAT:
+                data = payload.get("runs", {})
+        except (OSError, json.JSONDecodeError):
+            data = None
+        dirs = set()
+        if self.root.is_dir():
+            dirs = {p.name for p in self.root.iterdir()
+                    if (p / "run.json").is_file()}
+        if data is None or set(data) != dirs:
+            data = self._rebuild_index()
+        return data
+
+    def _rebuild_index(self) -> Dict[str, dict]:
+        entries: Dict[str, dict] = {}
+        if not self.root.is_dir():
+            return entries
+        for path in sorted(self.root.glob("*/run.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("format") != RUN_FORMAT:
+                continue
+            entries[path.parent.name] = self._index_entry(record, path)
+        self._write_index(entries)
+        return entries
+
+    def _write_index(self, entries: Dict[str, dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"format": INDEX_FORMAT,
+                   "runs": dict(sorted(entries.items()))}
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(self._index_path)
+
+    def total_bytes(self) -> int:
+        """Total archived record size, from the index."""
+        return sum(e.get("bytes", 0) for e in self.index().values())
 
     # -- read -------------------------------------------------------------
 
@@ -140,12 +290,36 @@ class RunRegistry:
         records.sort(key=lambda r: r.get("created", 0.0))
         return records
 
+    def _matching_ids(self, fingerprint: str) -> List[str]:
+        """Run ids sharing ``fingerprint``, oldest first, via the
+        index — no record is parsed."""
+        matches = [(entry.get("created", 0.0), run_id)
+                   for run_id, entry in self.index().items()
+                   if entry.get("fingerprint") == fingerprint]
+        return [run_id for _, run_id in sorted(matches)]
+
     def trajectory(self, fingerprint: str) -> List[dict]:
         """Archived runs sharing one config fingerprint, oldest
         first — the history a new run of that config is judged
         against."""
-        return [r for r in self.list_runs()
-                if r.get("fingerprint") == fingerprint]
+        records = []
+        for run_id in self._matching_ids(fingerprint):
+            try:
+                records.append(self.load(run_id))
+            except ReproError:
+                continue
+        return records
+
+    def latest(self, fingerprint: str) -> Optional[dict]:
+        """The newest archived run of one config fingerprint — the
+        cache-lookup primitive: one index read plus one record read,
+        however many runs are archived."""
+        for run_id in reversed(self._matching_ids(fingerprint)):
+            try:
+                return self.load(run_id)
+            except ReproError:
+                continue
+        return None
 
 
 # -- comparison ------------------------------------------------------------

@@ -176,18 +176,25 @@ class Telemetry:
             default).
         live_path: when given, a :class:`LiveStatus` file is kept up to
             date while the run progresses (``repro watch`` reads it).
+        annotations: extra identity keys merged into every live-status
+            payload (the simulation service stamps ``job``, ``tenant``
+            and ``fingerprint`` here so ``repro watch --job`` can name
+            what it is following).  Annotations never override the
+            harness-owned payload fields.
     """
 
     enabled: bool = True
 
     def __init__(self, sample_every: int = 50,
                  registry: Optional[MetricsRegistry] = None,
-                 live_path: Optional[Union[str, Path]] = None):
+                 live_path: Optional[Union[str, Path]] = None,
+                 annotations: Optional[dict] = None):
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.sampler = Sampler(self.registry, sample_every)
         self.live: Optional[LiveStatus] = (
             LiveStatus(live_path) if live_path is not None else None)
+        self.annotations = dict(annotations or {})
         #: run target, set by the harness so live status can show
         #: progress toward it
         self.target_cycles: Optional[int] = None
@@ -206,7 +213,7 @@ class Telemetry:
         wall_ns = max((p.busy_until
                        for p in sim.partitions.values()), default=0.0)
         rate_hz = frontier / wall_ns * 1e9 if wall_ns > 0 else 0.0
-        return {
+        payload = {
             "status": status,
             "backend": sim.last_run_backend or "inproc",
             "frontier_cycle": frontier,
@@ -216,6 +223,9 @@ class Telemetry:
             "partitions": {name: p.target_cycle
                            for name, p in sim.partitions.items()},
         }
+        for key, value in self.annotations.items():
+            payload.setdefault(key, value)
+        return payload
 
     def finish(self, sim) -> None:
         """Write the terminal live-status record (forced)."""
@@ -272,6 +282,7 @@ class NullTelemetry(Telemetry):
         self.registry = NULL_METRICS
         self.sampler = Sampler(NULL_METRICS)
         self.live = None
+        self.annotations = {}
         self.target_cycles = None
 
     def on_pass(self, sim, part) -> None:  # pragma: no cover

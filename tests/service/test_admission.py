@@ -1,0 +1,102 @@
+"""Admission control: per-tenant quotas over the priority queue."""
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServiceError
+from repro.service import AdmissionController, TenantQuota
+from repro.service.jobs import Job
+
+
+def make_job(job_id="j1", tenant="t", priority=0):
+    return Job(job_id=job_id, tenant=tenant, config={},
+               fingerprint="f" + job_id, priority=priority)
+
+
+class TestQuotaParse:
+    def test_parses_queued_and_active(self):
+        quota = TenantQuota.parse("4:8")
+        assert quota.max_queued == 4
+        assert quota.max_active == 8
+
+    @pytest.mark.parametrize("text", ["", "4", "4:8:12", "a:b"])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ServiceError):
+            TenantQuota.parse(text)
+
+
+class TestPriorityOrder:
+    def test_higher_priority_pops_first(self):
+        ctl = AdmissionController()
+        low = make_job("low", priority=0)
+        high = make_job("high", priority=5)
+        ctl.admit(low)
+        ctl.admit(high)
+        assert ctl.pop() is high
+        assert ctl.pop() is low
+
+    def test_fifo_within_a_priority_level(self):
+        ctl = AdmissionController()
+        jobs = [make_job(f"j{i}") for i in range(4)]
+        for job in jobs:
+            ctl.admit(job)
+        assert [ctl.pop() for _ in jobs] == jobs
+
+    def test_pop_empty_returns_none(self):
+        assert AdmissionController().pop() is None
+
+
+class TestQuotas:
+    def test_queued_quota_rejects_typed(self):
+        ctl = AdmissionController(TenantQuota(max_queued=1,
+                                              max_active=10))
+        ctl.admit(make_job("a"))
+        with pytest.raises(QuotaExceededError) as err:
+            ctl.admit(make_job("b"))
+        assert err.value.kind == "queued"
+        assert err.value.tenant == "t"
+        assert err.value.limit == 1
+        # the rejected job never entered the heap
+        assert ctl.queued_total == 1
+
+    def test_active_quota_counts_running_jobs(self):
+        ctl = AdmissionController(TenantQuota(max_queued=4,
+                                              max_active=1))
+        first = make_job("a")
+        ctl.admit(first)
+        ctl.pop()  # running now: queued 0, active 1
+        with pytest.raises(QuotaExceededError) as err:
+            ctl.admit(make_job("b"))
+        assert err.value.kind == "active"
+        ctl.release(first)
+        ctl.admit(make_job("c"))
+
+    def test_quotas_are_per_tenant(self):
+        ctl = AdmissionController(
+            TenantQuota(max_queued=1, max_active=1),
+            quotas={"big": TenantQuota(max_queued=3, max_active=3)})
+        ctl.admit(make_job("a", tenant="small"))
+        with pytest.raises(QuotaExceededError):
+            ctl.admit(make_job("b", tenant="small"))
+        for i in range(3):
+            ctl.admit(make_job(f"c{i}", tenant="big"))
+
+    def test_requeue_bypasses_quota(self):
+        ctl = AdmissionController(TenantQuota(max_queued=1,
+                                              max_active=1))
+        ctl.admit(make_job("a"))
+        promoted = make_job("b")
+        ctl.requeue(promoted)
+        assert promoted.admitted
+        assert ctl.queued_total == 2
+
+    def test_snapshot_reports_per_tenant_state(self):
+        ctl = AdmissionController(TenantQuota(max_queued=2,
+                                              max_active=4))
+        ctl.admit(make_job("a", tenant="alice"))
+        ctl.admit(make_job("b", tenant="bob"))
+        ctl.pop()
+        snap = ctl.snapshot()
+        assert snap["queued"] == 1
+        assert snap["active"] == 2
+        assert snap["tenants"]["alice"]["active"] == 1
+        assert snap["tenants"]["alice"]["max_queued"] == 2

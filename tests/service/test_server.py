@@ -1,0 +1,196 @@
+"""The JSON-over-HTTP endpoint, its client, and the service CLI."""
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import JobNotFoundError, QuotaExceededError, ServiceError
+from repro.service import (
+    ServiceConfig,
+    ServiceThread,
+    TenantQuota,
+    parse_server,
+)
+
+
+@pytest.fixture
+def thread(tmp_path):
+    thread = ServiceThread(ServiceConfig(
+        workers=2, runs_dir=tmp_path / "runs",
+        live_dir=tmp_path / "live",
+        quotas={"capped": TenantQuota(max_queued=0, max_active=0)}))
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture
+def client(thread):
+    return thread.client()
+
+
+def wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, \
+            "condition never became true"
+        time.sleep(0.02)
+
+
+class TestParseServer:
+    def test_host_and_port_forms(self):
+        assert parse_server("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_server("10.0.0.1") == ("10.0.0.1", 8642)
+        assert parse_server(":9000") == ("127.0.0.1", 9000)
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ServiceError):
+            parse_server("host:nope")
+
+
+class TestEndpoint:
+    def test_health_and_stats(self, client):
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert stats["counters"]["submitted"] == 0
+
+    def test_submit_wait_then_cache_hit(self, client, make_config):
+        cold = client.submit(make_config(cycles=70), tenant="alice",
+                             name="pair")
+        record = client.wait(cold["job_id"], timeout=60)
+        assert record["state"] == "done"
+        assert record["source"] == "execution"
+        assert record["result"]["target_cycles"] == 70
+        hit = client.submit(make_config(cycles=70), tenant="bob")
+        assert hit["state"] == "done"
+        assert hit["source"] == "cache"
+        assert hit["run_id"] == record["run_id"]
+        counters = client.stats()["counters"]
+        assert counters["executions"] == 1
+        assert counters["cache_hits"] == 1
+
+    def test_jobs_listing_filters_by_tenant(self, client,
+                                            make_config):
+        client.submit(make_config(cycles=40), tenant="alice")
+        client.submit(make_config(cycles=41), tenant="bob")
+        assert len(client.jobs()) == 2
+        mine = client.jobs(tenant="alice")
+        assert [job["tenant"] for job in mine] == ["alice"]
+
+    def test_quota_rejection_is_typed_over_the_wire(self, client,
+                                                    make_config):
+        with pytest.raises(QuotaExceededError) as err:
+            client.submit(make_config(), tenant="capped")
+        assert err.value.tenant == "capped"
+        assert err.value.kind == "queued"
+
+    def test_unknown_job_raises_not_found(self, client):
+        with pytest.raises(JobNotFoundError):
+            client.job("job-999999")
+        with pytest.raises(JobNotFoundError):
+            client.cancel("job-999999")
+
+    def test_bad_config_raises_service_error(self, client):
+        with pytest.raises(ServiceError):
+            client.submit({"kind": "teleport"})
+
+    def test_cancel_running_job_over_the_wire(self, client,
+                                              make_config):
+        job = client.submit(make_config(cycles=500_000))
+        wait_until(
+            lambda: client.job(job["job_id"])["state"] == "running")
+        client.cancel(job["job_id"])
+        record = client.wait(job["job_id"], timeout=60)
+        assert record["state"] == "cancelled"
+        assert record["result"]["partial"] is True
+
+    def test_wait_timeout_reports_not_fails(self, client,
+                                            make_config):
+        job = client.submit(make_config(cycles=500_000))
+        record = client.wait(job["job_id"], timeout=0.1)
+        assert record["timed_out"] is True
+        assert record["state"] in ("queued", "running")
+        client.cancel(job["job_id"])
+
+    def test_executed_job_keeps_a_live_status_file(self, client,
+                                                   make_config):
+        job = client.submit(make_config(cycles=90), tenant="alice")
+        record = client.wait(job["job_id"], timeout=60)
+        assert record["live_path"]
+        import json
+        payload = json.loads(open(record["live_path"]).read())
+        assert payload["job"] == job["job_id"]
+        assert payload["tenant"] == "alice"
+        assert payload["status"] == "done"
+
+
+class TestCLI:
+    def test_submit_wait_jobs_watch_roundtrip(self, thread,
+                                              make_config, tmp_path,
+                                              capsys):
+        circuit = tmp_path / "pair.fir"
+        from repro.firrtl import print_circuit
+        from repro.targets import make_comb_pair_circuit
+        circuit.write_text(print_circuit(make_comb_pair_circuit()))
+        server = f"127.0.0.1:{thread.port}"
+
+        rc = main(["submit", str(circuit), "--extract", "right",
+                   "--mode", "fast", "--cycles", "60",
+                   "--server", server, "--tenant", "alice",
+                   "--name", "pair", "--wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "source=execution" in out
+        assert "run pair-" in out
+
+        # the same submission again is a cache hit
+        rc = main(["submit", str(circuit), "--extract", "right",
+                   "--mode", "fast", "--cycles", "60",
+                   "--server", server, "--wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "source=cache" in out
+
+        rc = main(["jobs", "--server", server])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 job(s)" in out
+        assert "executions=1 cache_hits=1" in out
+
+        rc = main(["watch", "--job", "job-000001",
+                   "--server", server, "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "job-000001: done" in out
+
+    def test_cancel_and_error_paths(self, thread, make_config,
+                                    tmp_path, capsys):
+        circuit = tmp_path / "pair.fir"
+        from repro.firrtl import print_circuit
+        from repro.targets import make_comb_pair_circuit
+        circuit.write_text(print_circuit(make_comb_pair_circuit()))
+        server = f"127.0.0.1:{thread.port}"
+
+        rc = main(["submit", str(circuit), "--extract", "right",
+                   "--cycles", "500000", "--server", server])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["cancel", "job-000001", "--server", server])
+        out = capsys.readouterr().out
+        assert rc == 0
+        rc = main(["watch", "--job", "job-000001", "--server", server,
+                   "--timeout", "30"])
+        assert rc == 1  # terminal but not done
+
+        rc = main(["cancel", "job-424242", "--server", server])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "job-424242" in err
+
+    def test_submit_without_target_errors(self, thread, capsys):
+        rc = main(["submit", "--server",
+                   f"127.0.0.1:{thread.port}"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "submit wants" in err

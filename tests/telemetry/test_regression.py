@@ -140,6 +140,28 @@ class TestCheckBenchFiles:
         }))
         assert check_bench_files(tmp_path) == []
 
+    def test_service_violations_flag(self, tmp_path):
+        (tmp_path / "BENCH_service.json").write_text(json.dumps({
+            "cached_speedup": 6.0,
+            "cached_speedup_floor": 10.0,
+            "detail_bit_identical": False,
+            "executions": 8,
+            "distinct_configs": 6,
+        }))
+        violations = check_bench_files(tmp_path)
+        assert [v.metric for v in violations] == [
+            "cached_speedup", "detail_bit_identical", "executions"]
+
+    def test_service_clean_passes(self, tmp_path):
+        (tmp_path / "BENCH_service.json").write_text(json.dumps({
+            "cached_speedup": 113.0,
+            "cached_speedup_floor": 10.0,
+            "detail_bit_identical": True,
+            "executions": 6,
+            "distinct_configs": 6,
+        }))
+        assert check_bench_files(tmp_path) == []
+
     def test_empty_results_dir_passes(self, tmp_path):
         assert check_bench_files(tmp_path) == []
 

@@ -97,6 +97,97 @@ class TestRegistry:
         assert [r["name"] for r in registry.list_runs()] == ["good"]
 
 
+class TestIndexAndLatest:
+    def test_archive_maintains_the_index(self, result, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        path = registry.archive(result, name="pair",
+                                config={"mode": "exact"})
+        assert (tmp_path / "runs" / "index.json").is_file()
+        entries = registry.index()
+        run_id = path.parent.name
+        assert entries[run_id]["fingerprint"] \
+            == config_fingerprint({"mode": "exact"})
+        assert entries[run_id]["bytes"] > 0
+        assert registry.total_bytes() == entries[run_id]["bytes"]
+
+    def test_index_rebuilds_after_external_change(self, result,
+                                                  tmp_path):
+        import shutil
+        registry = RunRegistry(tmp_path / "runs")
+        kept = registry.archive(result, name="a",
+                                config={"x": 1}).parent.name
+        gone = registry.archive(result, name="b",
+                                config={"x": 2}).parent.name
+        # a run vanishing behind the registry's back is detected by
+        # the name-set check and triggers a rescan
+        shutil.rmtree(tmp_path / "runs" / gone)
+        assert set(registry.index()) == {kept}
+
+    def test_latest_returns_newest_matching_record(self, result,
+                                                   tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.archive(result, name="old", config={"x": 1})
+        registry.archive(result, name="new", config={"x": 1})
+        registry.archive(result, name="other", config={"x": 2})
+        record = registry.latest(config_fingerprint({"x": 1}))
+        assert record["name"] == "new"
+        assert registry.latest("deadbeef0000") is None
+
+    def test_remove_deletes_run_and_index_entry(self, result,
+                                                tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        run_id = registry.archive(result, name="pair",
+                                  config={}).parent.name
+        registry.remove(run_id)
+        assert registry.index() == {}
+        with pytest.raises(ReproError):
+            registry.load(run_id)
+        with pytest.raises(ReproError):
+            registry.remove(run_id)
+
+
+class TestGC:
+    def _fill(self, result, tmp_path, n=4):
+        registry = RunRegistry(tmp_path / "runs")
+        ids = [registry.archive(result, name=f"r{i}",
+                                config={"i": i}).parent.name
+               for i in range(n)]
+        return registry, ids
+
+    def test_keep_prunes_oldest_first(self, result, tmp_path):
+        registry, ids = self._fill(result, tmp_path)
+        pruned = registry.gc(keep=2)
+        assert pruned == ids[:2]
+        assert set(registry.index()) == set(ids[2:])
+
+    def test_max_age_uses_injected_now(self, result, tmp_path):
+        registry, ids = self._fill(result, tmp_path, n=2)
+        created = registry.index()[ids[0]]["created"]
+        pruned = registry.gc(max_age_s=3600.0,
+                             now=created + 7200.0)
+        assert set(pruned) == set(ids)
+
+    def test_max_bytes_prunes_until_it_fits(self, result, tmp_path):
+        registry, ids = self._fill(result, tmp_path)
+        entries = registry.index()
+        budget = sum(entries[i]["bytes"] for i in ids[2:])
+        pruned = registry.gc(max_bytes=budget)
+        assert pruned == ids[:2]
+        assert registry.total_bytes() <= budget
+
+    def test_dry_run_deletes_nothing(self, result, tmp_path):
+        registry, ids = self._fill(result, tmp_path)
+        pruned = registry.gc(keep=0, dry_run=True)
+        assert pruned == ids
+        assert set(registry.index()) == set(ids)
+
+    def test_policies_compose(self, result, tmp_path):
+        registry, ids = self._fill(result, tmp_path)
+        pruned = registry.gc(keep=3, max_bytes=0)
+        assert pruned == ids
+        assert registry.index() == {}
+
+
 def _record(rate_hz, breakdown, cycles=100, run_id="r"):
     return {
         "run_id": run_id,

@@ -113,6 +113,33 @@ class TestTelemetrySession:
         assert session.enabled and session.sample_every == 35
 
 
+class TestAnnotations:
+    def test_annotations_merge_into_live_payload(self, tmp_path):
+        path = tmp_path / "live.json"
+        telemetry = Telemetry(sample_every=50, live_path=path,
+                              annotations={"job": "job-000042",
+                                           "tenant": "alice"})
+        _run(telemetry, cycles=60)
+        payload = LiveStatus.read(path)
+        assert payload["job"] == "job-000042"
+        assert payload["tenant"] == "alice"
+        assert payload["status"] == "done"
+
+    def test_annotations_never_override_harness_fields(self):
+        telemetry = Telemetry(sample_every=50,
+                              annotations={"status": "spoofed",
+                                           "extra": "kept"})
+        spec = PartitionSpec(mode=EXACT, groups=[
+            PartitionGroup.make("fpga1", ["right"])])
+        design = FireRipper(spec).compile(make_comb_pair_circuit())
+        sim = design.build_simulation(QSFP_AURORA,
+                                      telemetry=telemetry)
+        sim.run(60)
+        payload = telemetry.live_payload(sim, status="running")
+        assert payload["status"] == "running"
+        assert payload["extra"] == "kept"
+
+
 class TestLiveStatus:
     def test_writes_and_reads_json(self, tmp_path):
         path = tmp_path / "live" / "status.json"

@@ -174,7 +174,8 @@ class TestTelemetryCLI:
             assert rc == 0
         out = capsys.readouterr().out
         assert "archived run:" in out
-        ids = sorted(p.name for p in runs.iterdir())
+        # the registry keeps its index.json beside the run dirs
+        ids = sorted(p.name for p in runs.iterdir() if p.is_dir())
         assert len(ids) == 2
         assert ids[0].startswith("pair-")
 
