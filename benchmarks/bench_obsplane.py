@@ -1,0 +1,170 @@
+"""Observability-plane overhead benchmark: the plane must be cheap
+when on and free when off.
+
+The service hot path measured here is the *cache-hit submit* — the
+request shape a saturated multi-tenant service serves most: fingerprint
+probe, archived-record load, terminal job.  Every per-job observability
+action (corr-id mint, counter increments, three histogram observes,
+lifecycle event emits) sits on exactly this path, so it is where plane
+overhead would surface.  Three variants run interleaved
+(min-of-repeats, one timing of each per round so clock drift hits them
+equally):
+
+* ``bare`` — ``service_metrics=False``, no event log: every
+  observability surface is the null object (the guard-only cost),
+* ``metrics`` — the shipping default: wall-clock service metrics on,
+  event log still the null sink,
+* ``logged`` — metrics plus a real JSONL event log (three fsync-free
+  appends per cache hit), the full operator configuration.
+
+The gate is ``metrics`` vs ``bare`` — the always-on surface must stay
+under 5% of the hot path; the ``logged`` cost is reported for context,
+not bounded.  A second, untimed test pins that the full plane actually
+*works* under the service (events logged, ``/metrics`` scrapes, corr
+id joins job record to archived run) so the committed numbers can
+never come from a silently disabled plane.  Measurements merge into
+``results/BENCH_service_metrics.json``, gated by
+``repro regress`` (:func:`repro.telemetry.regression.check_bench_files`).
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.firrtl import print_circuit
+from repro.obsplane import read_events
+from repro.service import ServiceConfig, ServiceThread, SimulationService
+from repro.targets import make_comb_pair_circuit
+from repro.telemetry import RunRegistry
+
+SUBMITS = 40
+REPEATS = 5
+MAX_NULL_OVERHEAD = 0.05
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _merge_results(payload: dict) -> None:
+    """Merge ``payload`` into the shared service-metrics results file
+    (the two tests each own a disjoint set of keys)."""
+    path = RESULTS / "BENCH_service_metrics.json"
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    existing = {}
+    if path.is_file():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def _job_config():
+    return {"kind": "simulate",
+            "circuit_text": print_circuit(make_comb_pair_circuit()),
+            "extract": ["right"], "mode": "fast", "cycles": 60}
+
+
+async def _time_cache_hits(config: ServiceConfig) -> float:
+    """Seconds per cache-hit submit: one cold execution warms the
+    cache, then ``SUBMITS`` identical submits ride the hit path."""
+    service = SimulationService(config)
+    await service.start()
+    try:
+        job_config = _job_config()
+        job = await service.submit(job_config)
+        if job.state != "done":
+            await service.wait(job.job_id)
+        t0 = time.perf_counter()
+        for _ in range(SUBMITS):
+            await service.submit(job_config)
+        return (time.perf_counter() - t0) / SUBMITS
+    finally:
+        await service.shutdown()
+
+
+def test_null_plane_overhead_under_5pct(tmp_path):
+    def variants():
+        return [
+            ("bare", ServiceConfig(
+                workers=1, runs_dir=tmp_path / "bare",
+                service_metrics=False)),
+            ("metrics", ServiceConfig(
+                workers=1, runs_dir=tmp_path / "metrics")),
+            ("logged", ServiceConfig(
+                workers=1, runs_dir=tmp_path / "logged",
+                event_log=tmp_path / "ev.jsonl")),
+        ]
+
+    names = [name for name, _ in variants()]
+    best = {name: float("inf") for name in names}
+    for _ in range(REPEATS):
+        for name, config in variants():
+            seconds = asyncio.run(_time_cache_hits(config))
+            best[name] = min(best[name], seconds)
+
+    null_overhead = best["metrics"] / best["bare"] - 1.0
+    logged_overhead = best["logged"] / best["bare"] - 1.0
+    payload = {
+        "submits": SUBMITS,
+        "repeats": REPEATS,
+        "bare_submit_s": best["bare"],
+        "metrics_submit_s": best["metrics"],
+        "logged_submit_s": best["logged"],
+        "null_plane_overhead_pct": null_overhead * 100.0,
+        "logged_overhead_pct": logged_overhead * 100.0,
+        "bound_pct": MAX_NULL_OVERHEAD * 100.0,
+    }
+    _merge_results(payload)
+    print(f"\ncache-hit submit: bare {best['bare'] * 1e6:.1f}µs, "
+          f"metrics {null_overhead * 100.0:+.2f}%, "
+          f"event-logged {logged_overhead * 100.0:+.2f}%")
+    assert null_overhead < MAX_NULL_OVERHEAD, payload
+
+
+def test_full_plane_functions_under_service(tmp_path):
+    """Untimed cross-check: the numbers above describe a plane that
+    demonstrably works — events land, /metrics scrapes, the corr id
+    joins the job to its archived run and trace spans."""
+    config = ServiceConfig(workers=1, runs_dir=tmp_path / "runs",
+                           event_log=tmp_path / "ev.jsonl",
+                           trace_events=64)
+    thread = ServiceThread(config)
+    try:
+        client = thread.client()
+        record = client.wait(
+            client.submit(_job_config())["job_id"])
+        hit = client.wait(
+            client.submit(_job_config(),
+                          tenant="reader")["job_id"])
+        metrics_text = client.metrics()
+    finally:
+        thread.stop()
+
+    assert record["state"] == "done"
+    assert hit["source"] == "cache"
+    entries = list(read_events(tmp_path / "ev.jsonl"))
+    run_record = RunRegistry(tmp_path / "runs").load(
+        record["run_id"])
+    obs = run_record["obs"]
+    scrape_ok = (
+        'repro_service_cache_hits_total{tenant="reader"} 1'
+        in metrics_text
+        and 'phase="execution"' in metrics_text)
+    payload = {
+        "events_logged": len(entries),
+        "trace_spans_archived": len(obs.get("trace_events", [])),
+        "metrics_scrape_ok": bool(scrape_ok),
+        "corr_joined": bool(obs.get("corr_id")
+                            == record["corr_id"]),
+    }
+    _merge_results(payload)
+    print(f"\nfull plane: {payload['events_logged']} events, "
+          f"{payload['trace_spans_archived']} archived spans, "
+          f"scrape_ok={payload['metrics_scrape_ok']}, "
+          f"corr_joined={payload['corr_joined']}")
+    assert payload["events_logged"] >= 8
+    assert payload["trace_spans_archived"] > 0
+    assert payload["metrics_scrape_ok"]
+    assert payload["corr_joined"]

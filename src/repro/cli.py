@@ -254,7 +254,45 @@ def cmd_reliability(args) -> int:
     return 0 if identical or args.unreliable else 1
 
 
+def _trace_job(args) -> int:
+    """``repro trace --job ID``: stitch a service job's scheduler
+    spans, event-log fabric events and archived partition spans into
+    one Perfetto trace."""
+    from .obsplane import read_events
+    from .obsplane.stitch import export_job_trace
+    client = _client(args)
+    record = client.job(args.job)
+    run_record = None
+    if record.get("run_id"):
+        try:
+            run_record = RunRegistry(args.runs_dir).load(
+                record["run_id"])
+        except ReproError as exc:
+            print(f"trace: no archived run record "
+                  f"({exc}); partition spans omitted",
+                  file=sys.stderr)
+    entries = []
+    if args.log:
+        entries = list(read_events(
+            args.log, corr=record.get("corr_id") or None))
+    path, count = export_job_trace(args.out, record, run_record,
+                                   entries, compress=args.gzip)
+    spans = len((run_record or {}).get("obs", {})
+                .get("trace_events", []))
+    print(f"stitched {count} events for {args.job} "
+          f"(corr={record.get('corr_id', '?')}): "
+          f"{len(entries)} log entries, {spans} partition spans")
+    print(f"wrote {path} (open in https://ui.perfetto.dev or "
+          f"chrome://tracing)")
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.job:
+        return _trace_job(args)
+    if not args.circuit or not args.extract:
+        raise ReproError("trace wants a circuit file with --extract, "
+                         "or --job ID")
     circuit = _load(args.circuit)
     design = FireRipper(_spec(args)).compile(circuit)
     tracer = RecordingTracer(capacity=args.events)
@@ -322,7 +360,8 @@ def _service_config(args):
     return ServiceConfig(
         workers=args.workers, runs_dir=args.runs_dir,
         live_dir=args.live_dir, metrics_every=args.metrics,
-        default_quota=default, quotas=quotas)
+        default_quota=default, quotas=quotas,
+        event_log=args.event_log, trace_events=args.trace_events)
 
 
 def cmd_serve(args) -> int:
@@ -365,7 +404,16 @@ def _print_job(record: dict) -> None:
             f"tenant={record['tenant']} fp={record['fingerprint']}")
     if record.get("source"):
         line += f" source={record['source']}"
+    if record.get("corr_id"):
+        line += f" corr={record['corr_id']}"
     print(line)
+    phases = [(label, record.get(key)) for label, key in
+              (("queue", "queue_wait_s"), ("cache", "cache_lookup_s"),
+               ("exec", "execution_s"))]
+    shown = [f"{label} {value * 1e3:.1f}ms"
+             for label, value in phases if value is not None]
+    if shown:
+        print("  " + "  ".join(shown))
     result = record.get("result")
     if result and result.get("run_id"):
         print(f"  run {result['run_id']}: "
@@ -443,6 +491,78 @@ def cmd_cancel(args) -> int:
     record = client.cancel(args.job_id)
     _print_job(record)
     return 0
+
+
+def cmd_tail(args) -> int:
+    """Print (or follow) the observability event log, optionally
+    narrowed to one correlation id, tenant, or event kind."""
+    from .obsplane import follow_events, format_event, read_events
+    kinds = args.kind or None
+    if args.follow:
+        try:
+            for entry in follow_events(args.log, corr=args.corr,
+                                       tenant=args.tenant, kinds=kinds,
+                                       timeout=args.timeout):
+                print(format_event(entry), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    count = 0
+    for entry in read_events(args.log, corr=args.corr,
+                             tenant=args.tenant, kinds=kinds):
+        print(format_event(entry))
+        count += 1
+    if count == 0:
+        print("no matching events", file=sys.stderr)
+    return 0
+
+
+def _print_top(stats: dict) -> None:
+    counters = stats.get("counters", {})
+    metrics = stats.get("metrics", {})
+    gauges = metrics.get("gauges", {})
+    submitted = counters.get("submitted", 0)
+    hits = counters.get("cache_hits", 0)
+    rate = hits / submitted * 100.0 if submitted else 0.0
+    print(f"workers={gauges.get('workers', 0)} "
+          f"active={gauges.get('active_jobs', 0)} "
+          f"submitted={submitted} "
+          f"executions={counters.get('executions', 0)} "
+          f"cache_hits={hits} ({rate:.1f}%) "
+          f"coalesced={counters.get('coalesced', 0)} "
+          f"rejected={counters.get('rejected', 0)}")
+    depths = gauges.get("queue_depth", {})
+    if depths:
+        queued = "  ".join(f"{tenant}={depth}"
+                           for tenant, depth in sorted(depths.items()))
+        print(f"queue depth: {queued}")
+    latency = metrics.get("latency", {})
+    rows = sorted((tenant, phase, snap)
+                  for phase, per_tenant in latency.items()
+                  for tenant, snap in per_tenant.items())
+    if rows:
+        print(f"{'tenant':<12} {'phase':<14} {'count':>6} "
+              f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9}")
+    for tenant, phase, snap in rows:
+        print(f"{tenant:<12} {phase:<14} {snap['count']:>6} "
+              f"{snap['p50'] * 1e3:>9.2f} {snap['p95'] * 1e3:>9.2f} "
+              f"{snap['p99'] * 1e3:>9.2f}")
+
+
+def cmd_top(args) -> int:
+    """Live service overview: queue depths, per-tenant latency
+    quantiles, and cache-hit rate.  ``--once`` prints one snapshot."""
+    client = _client(args)
+    try:
+        while True:
+            stats = client.stats()
+            _print_top(stats)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_runs_list(args) -> int:
@@ -865,8 +985,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_trace = subs.add_parser(
         "trace",
-        help="run with a recording tracer, export Chrome trace JSON")
-    _add_common(p_trace)
+        help="run with a recording tracer and export Chrome trace "
+             "JSON, or stitch a service job's cross-process trace "
+             "with --job")
+    p_trace.add_argument("circuit", nargs="?",
+                         help="circuit file in the textual IR "
+                              "(omit with --job)")
+    p_trace.add_argument("--extract", action="append",
+                         metavar="PATHS",
+                         help="comma-separated instance paths for one "
+                              "FPGA (repeatable)")
+    p_trace.add_argument("--mode", choices=["exact", "fast"],
+                         default=EXACT)
     p_trace.add_argument("--transport", choices=TRANSPORTS,
                          default="qsfp")
     p_trace.add_argument("--freq", type=float, default=30.0)
@@ -880,6 +1010,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="gzip the streamed export (.gz appended "
                               "to the output name; Perfetto opens "
                               ".json.gz directly)")
+    p_trace.add_argument("--job", metavar="JOB_ID",
+                         help="stitch this service job's scheduler, "
+                              "event-log and partition spans into one "
+                              "trace instead of running a circuit")
+    p_trace.add_argument("--server", default="127.0.0.1",
+                         metavar="HOST[:PORT]",
+                         help="service endpoint for --job "
+                              "(default: 127.0.0.1:8642)")
+    p_trace.add_argument("--runs-dir", default="results/runs",
+                         help="run registry holding the job's archived "
+                              "partition spans (default: results/runs)")
+    p_trace.add_argument("--log", default=None, metavar="FILE",
+                         help="service event log to fold queue/worker "
+                              "events from (--job only)")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_prof = subs.add_parser(
@@ -959,6 +1103,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--default-quota", metavar="QUEUED:ACTIVE",
                          help="quota for tenants without an override "
                               "(default: 16:64)")
+    p_serve.add_argument("--event-log", default=None, metavar="FILE",
+                         help="append structured lifecycle events to "
+                              "this JSONL file (repro tail reads it; "
+                              "default: no event log)")
+    p_serve.add_argument("--trace-events", type=int, default=0,
+                         metavar="N",
+                         help="record up to N tracer spans per "
+                              "executed job for repro trace --job "
+                              "(default: 0, tracing off)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_sub = subs.add_parser(
@@ -1011,6 +1164,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_jobs.add_argument("--tenant", default=None,
                         help="only this tenant's jobs")
     p_jobs.set_defaults(fn=cmd_jobs)
+
+    p_tail = subs.add_parser(
+        "tail",
+        help="print or follow a service event log (one line per "
+             "lifecycle event, filterable by corr id / tenant / kind)")
+    p_tail.add_argument("log", help="event log JSONL path "
+                                    "(serve --event-log FILE)")
+    p_tail.add_argument("--corr", default=None, metavar="CORR_ID",
+                        help="only events with this correlation id")
+    p_tail.add_argument("--tenant", default=None,
+                        help="only this tenant's events")
+    p_tail.add_argument("--kind", action="append", metavar="KIND",
+                        help="only these event kinds (repeatable)")
+    p_tail.add_argument("--follow", "-f", action="store_true",
+                        help="keep reading as the log grows")
+    p_tail.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="stop following after this many idle "
+                             "seconds (default: follow forever)")
+    p_tail.set_defaults(fn=cmd_tail)
+
+    p_top = subs.add_parser(
+        "top",
+        help="live service overview: queue depths, per-tenant "
+             "latency quantiles, cache-hit rate")
+    p_top.add_argument("--server", default="127.0.0.1",
+                       metavar="HOST[:PORT]",
+                       help="service endpoint (default: 127.0.0.1:8642)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh interval in seconds (default: 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit")
+    p_top.set_defaults(fn=cmd_top)
 
     p_cancel = subs.add_parser(
         "cancel", help="cancel a service job (queued or running)")

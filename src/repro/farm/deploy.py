@@ -34,6 +34,8 @@ import signal
 from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List
 
+from ..obsplane.corr import propagate_corr_id
+from ..obsplane.log import get_logger, log_record
 from ..parallel.worker import worker_main
 
 
@@ -61,6 +63,13 @@ def host_agent_main(sim, host: str, parts: List[str], order,
             pass
     agent_options = options.get("__agent__", {})
     die_at_pass = agent_options.get("die_at_pass")
+    # adopt the request's correlation id before forking workers: they
+    # inherit the environment, and anything this agent logs carries it
+    corr_id = agent_options.get("corr_id", "")
+    if corr_id:
+        propagate_corr_id(corr_id)
+    log_record(get_logger("repro.farm.agent"), "agent_start",
+               corr=corr_id, host=host, parts=",".join(parts))
 
     # intra-host data plane: one pipe pair per linked pair living
     # entirely on this host (cross-host pairs are in the socket plans)
@@ -107,6 +116,12 @@ def host_agent_main(sim, host: str, parts: List[str], order,
             name=f"repro-worker-{part}", daemon=True)
     for proc in procs.values():
         proc.start()
+    events = getattr(sim, "events", None)
+    if events is not None and events.enabled:
+        for part, proc in procs.items():
+            events.emit("worker_spawn", corr=corr_id, part=part,
+                        host=host, worker_pid=proc.pid,
+                        backend="farm")
     for conns in data.values():
         for recv_conn, send_conn in conns.values():
             recv_conn.close()
@@ -156,6 +171,11 @@ def host_agent_main(sim, host: str, parts: List[str], order,
                 conn = up[part][0]
                 _relay_all(conn, part, send_up, die_at_pass)
                 dead.add(part)
+                if events is not None and events.enabled:
+                    events.emit("worker_exit", corr=corr_id,
+                                part=part, host=host,
+                                worker_pid=procs[part].pid,
+                                exitcode=procs[part].exitcode)
                 send_up(("dead", part, procs[part].exitcode))
             elif item is ctl_recv:
                 try:

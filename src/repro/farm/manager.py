@@ -30,12 +30,16 @@ the run registry.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import HostDeadError, WorkerError
+from ..obsplane.events import (EV_HOST_DEATH, EV_HOST_DEPLOY,
+                               EV_HOST_REPLACE)
+from ..obsplane.log import get_logger, log_record
 from ..parallel.coordinator import ProcessBackend, _WorkerState
 from ..parallel.shm import FramePacker
 from ..parallel.socket_transport import make_listeners, socket_timeouts
@@ -44,6 +48,8 @@ from ..reliability.supervisor import (InjectedCrash, RunSupervisor,
 from .deploy import host_agent_main
 from .hosts import FarmSpec
 from .placement import Placement, place_sim
+
+_LOG = get_logger("repro.farm")
 
 
 class FarmBackend(ProcessBackend):
@@ -139,10 +145,13 @@ class FarmBackend(ProcessBackend):
         up = {host: pipe() for host in hosts}
         down = {host: pipe() for host in hosts}
         heartbeat_s = min(2.0, self.heartbeat_timeout / 4)
+        corr = getattr(sim, "corr_id", "") or ""
         agents: Dict[str, mp.Process] = {}
         for host in hosts:
             options: Dict[str, dict] = {"__agent__": {
-                "die_at_pass": self.host_faults.get(host)}}
+                "die_at_pass": self.host_faults.get(host),
+                "corr_id": corr,
+                "host": host}}
             for part in host_parts[host]:
                 options[part] = {
                     "flush_interval": self.flush_interval,
@@ -152,6 +161,7 @@ class FarmBackend(ProcessBackend):
                     "rings": None,
                     "packer": packer,
                     "socket": dict(base_plan, peers=cross[part]),
+                    "corr_id": corr,
                 }
             own = {id(down[host][0]), id(up[host][1])}
             unrelated = [c for c in all_conns if id(c) not in own]
@@ -165,6 +175,12 @@ class FarmBackend(ProcessBackend):
                 name=f"repro-host-{host}", daemon=False)
         for proc in agents.values():
             proc.start()
+        events = getattr(sim, "events", None)
+        if events is not None and events.enabled:
+            for host, proc in agents.items():
+                events.emit(EV_HOST_DEPLOY, corr=corr, host=host,
+                            agent_pid=proc.pid,
+                            parts=",".join(host_parts[host]))
         for host in hosts:
             down[host][0].close()
             up[host][1].close()
@@ -189,6 +205,14 @@ class FarmBackend(ProcessBackend):
         if self.last_placement is None \
                 or placement.assignment != self.last_placement.assignment:
             self.placements.append(placement)
+            events = getattr(sim, "events", None)
+            if len(self.placements) > 1 and events is not None \
+                    and events.enabled:
+                events.emit(
+                    EV_HOST_REPLACE,
+                    corr=getattr(sim, "corr_id", "") or "",
+                    hosts=",".join(sorted(placement.by_host())),
+                    assignment=dict(placement.assignment))
         self.last_placement = placement
         agents, ctl_recv, ctl_send = self._spawn_farm(
             sim, placement, target_cycles, max_passes)
@@ -269,6 +293,7 @@ class FarmBackend(ProcessBackend):
                 if host_failure is not None:
                     host, reason, message = host_failure
                     self.spec.mark_dead(host)
+                    self._emit_host_death(sim, host, reason)
                     broadcast(("abort", "fatal"))
                     raise HostDeadError(host, reason, message)
 
@@ -301,6 +326,8 @@ class FarmBackend(ProcessBackend):
                         continue
                     if now - agent_seen[host] > self.heartbeat_timeout:
                         self.spec.mark_dead(host)
+                        self._emit_host_death(sim, host,
+                                              "heartbeat-timeout")
                         broadcast(("abort", "fatal"))
                         raise HostDeadError(
                             host, "heartbeat-timeout",
@@ -350,12 +377,27 @@ class FarmBackend(ProcessBackend):
         self.last_wire_stats = {
             n: frag.get("wire_stats", {})
             for n, frag in fragments.items()}
+        self.last_worker_corr = {
+            n: frag.get("corr", "")
+            for n, frag in fragments.items()}
+        sim.last_worker_corr = dict(self.last_worker_corr)
         self._merge(sim, fragments)
         sim.last_run_backend = self._backend_label
         self._finish_telemetry(sim)
         result = sim.result()
         self.last_host_fmr = self._host_fmr(result, part_host)
         return result
+
+    def _emit_host_death(self, sim, host: str, reason: str) -> None:
+        events = getattr(sim, "events", None)
+        if events is not None and events.enabled:
+            events.emit(EV_HOST_DEATH,
+                        corr=getattr(sim, "corr_id", "") or "",
+                        host=host, reason=reason)
+        log_record(_LOG, EV_HOST_DEATH,
+                   corr=getattr(sim, "corr_id", "") or "",
+                   host=host, reason=reason,
+                   level=logging.WARNING)
 
     def _drain_agent(self, host, conn, states, agent_seen, now) -> None:
         while True:

@@ -46,6 +46,8 @@ from ..libdn.wrapper import LIBDNHost
 from ..observability import profile as _profile
 from ..observability.postmortem import DeadlockPostmortem
 from ..observability.tracer import NULL_TRACER, TraceEvent, Tracer
+from ..obsplane.corr import current_corr_id
+from ..obsplane.events import NULL_EVENT_LOG
 from ..platform.transport import TransportModel
 from ..telemetry.sampler import NULL_TELEMETRY, Telemetry
 from .hooks import LinkHooks, PartitionHooks
@@ -360,6 +362,16 @@ class PartitionedSimulation:
         #: backend that executed the last ``run``
         #: ("inproc" / "process" / "process-shm")
         self.last_run_backend: Optional[str] = None
+        #: request-scoped correlation id (set by the service executor);
+        #: backends propagate it into every worker/agent they fork
+        self.corr_id: str = ""
+        #: lifecycle-event sink (worker spawns/exits, host events);
+        #: the null default keeps every emit a single flag check
+        self.events = NULL_EVENT_LOG
+        #: per-partition corr echo of the last ``run`` — each worker
+        #: reports the corr id it observed in its environment, the
+        #: propagation proof the obsplane tests pin
+        self.last_worker_corr: Dict[str, str] = {}
         #: static resolve table: (part, full channel name) -> Channel
         self._in_channel_by_key: Dict[Tuple[str, str], Channel] = {}
         self._out_channel_by_key: Dict[Tuple[str, str], Channel] = {}
@@ -849,6 +861,10 @@ class PartitionedSimulation:
                 return chosen.run(self, target_cycles,
                                   max_passes=max_passes)
         self.last_run_backend = "inproc"
+        # no subprocesses: every partition "observed" this process's
+        # corr id, keeping the echo uniform across backends
+        corr = self.corr_id or current_corr_id()
+        self.last_worker_corr = {name: corr for name in self.partitions}
         if self._metrics_on:
             self.telemetry.target_cycles = max(
                 self.telemetry.target_cycles or 0, target_cycles)

@@ -26,6 +26,7 @@ memory — and optionally gzip-compresses on the way out (Perfetto opens
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
@@ -33,18 +34,47 @@ from typing import Dict, Iterable, Iterator, List, Tuple, Union
 from .tracer import TraceEvent
 
 
-def iter_chrome_records(events: Iterable[TraceEvent]) -> Iterator[dict]:
+def _stable_id(*names: str) -> int:
+    """Deterministic 31-bit track id from a name tuple (never 0 —
+    tid 0 is reserved for metadata/counter records)."""
+    digest = hashlib.blake2b("\x1f".join(names).encode(),
+                             digest_size=4).digest()
+    return (int.from_bytes(digest, "big") & 0x7FFFFFFF) or 1
+
+
+def iter_chrome_records(events: Iterable[TraceEvent],
+                        hash_track_ids: bool = False
+                        ) -> Iterator[dict]:
     """Yield Chrome trace records one at a time, interleaving the
     process/thread metadata records exactly where a buffered export
-    would have placed them (first use)."""
+    would have placed them (first use).
+
+    With ``hash_track_ids`` the pid/tid of each track derive from a
+    stable hash of its full name (collisions resolved by deterministic
+    linear probing) instead of first-use counters.  Counters restart
+    at 1 for every export, so concatenating two exported streams — a
+    stitched multi-job or multi-host trace — would land *different*
+    partitions on the *same* track id; hashed ids keep every
+    ``(job, host, partition)`` namespace distinct no matter how many
+    streams merge.
+    """
     pid_of: Dict[str, int] = {}
     tid_of: Dict[Tuple[str, str], int] = {}
     pending: List[dict] = []
+    taken_pids: Dict[int, str] = {}
+    taken_tids: Dict[Tuple[int, int], Tuple[str, str]] = {}
 
     def pid(part: str) -> int:
         name = part or "global"
         if name not in pid_of:
-            pid_of[name] = len(pid_of) + 1
+            if hash_track_ids:
+                candidate = _stable_id(name)
+                while taken_pids.get(candidate, name) != name:
+                    candidate = (candidate % 0x7FFFFFFF) + 1
+                taken_pids[candidate] = name
+                pid_of[name] = candidate
+            else:
+                pid_of[name] = len(pid_of) + 1
             pending.append({"ph": "M", "name": "process_name",
                             "pid": pid_of[name], "tid": 0,
                             "args": {"name": name}})
@@ -53,7 +83,16 @@ def iter_chrome_records(events: Iterable[TraceEvent]) -> Iterator[dict]:
     def tid(part: str, scope: str) -> int:
         key = (part or "global", scope or "events")
         if key not in tid_of:
-            tid_of[key] = len(tid_of) + 1
+            if hash_track_ids:
+                process = pid(part)
+                candidate = _stable_id(key[0], key[1])
+                while taken_tids.get((process, candidate),
+                                     key) != key:
+                    candidate = (candidate % 0x7FFFFFFF) + 1
+                taken_tids[(process, candidate)] = key
+                tid_of[key] = candidate
+            else:
+                tid_of[key] = len(tid_of) + 1
             pending.append({"ph": "M", "name": "thread_name",
                             "pid": pid(part), "tid": tid_of[key],
                             "args": {"name": key[1]}})
@@ -88,24 +127,29 @@ def iter_chrome_records(events: Iterable[TraceEvent]) -> Iterator[dict]:
             }
 
 
-def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+def to_chrome_trace(events: Iterable[TraceEvent],
+                    hash_track_ids: bool = False) -> dict:
     """Build the Chrome trace dict for ``events``."""
-    return {"traceEvents": list(iter_chrome_records(events)),
+    return {"traceEvents": list(iter_chrome_records(
+                events, hash_track_ids=hash_track_ids)),
             "displayTimeUnit": "ns"}
 
 
 def export_chrome_trace(events: Iterable[TraceEvent],
-                        path: Union[str, Path]) -> Path:
+                        path: Union[str, Path],
+                        hash_track_ids: bool = False) -> Path:
     """Write ``events`` to ``path`` as Chrome trace JSON."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(events)))
+    path.write_text(json.dumps(to_chrome_trace(
+        events, hash_track_ids=hash_track_ids)))
     return path
 
 
 def stream_chrome_trace(events: Iterable[TraceEvent],
                         path: Union[str, Path],
-                        compress: bool = False) -> Path:
+                        compress: bool = False,
+                        hash_track_ids: bool = False) -> Path:
     """Stream ``events`` to ``path`` without buffering the document.
 
     With ``compress`` the output is gzipped (a ``.gz`` suffix is
@@ -121,7 +165,8 @@ def stream_chrome_trace(events: Iterable[TraceEvent],
     with opener(path) as fh:
         fh.write('{"traceEvents": [')
         first = True
-        for record in iter_chrome_records(events):
+        for record in iter_chrome_records(
+                events, hash_track_ids=hash_track_ids):
             if not first:
                 fh.write(", ")
             fh.write(json.dumps(record))

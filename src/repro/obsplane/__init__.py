@@ -1,0 +1,123 @@
+"""The end-to-end observability plane.
+
+PR 2/4 made a *single simulation* observable (tracer, FMR breakdown,
+telemetry sampler); this package makes the *system around it*
+observable — the multi-tenant service, the four execution backends and
+the run farm — with one join key:
+
+* :mod:`~repro.obsplane.corr` — request-scoped correlation IDs, minted
+  at ``service.submit`` and propagated through coordinators into every
+  worker/agent subprocess via the ``REPRO_CORR_ID`` environment
+  variable (each worker echoes it back in its result fragment),
+* :mod:`~repro.obsplane.events` — the structured JSONL lifecycle event
+  log (null by default, like the tracer), written by the scheduler,
+  the coordinators and the farm agents,
+* :mod:`~repro.obsplane.metrics` — wall-clock service metrics (queue
+  depth, per-tenant latency histograms, cache/admission counters) with
+  a Prometheus text rendering behind ``GET /metrics``,
+* :mod:`~repro.obsplane.stitch` — cross-process trace stitching: the
+  scheduler's job spans, the event log's fabric events and the
+  workers' modelled-time partition spans merged into one Perfetto
+  trace per job (``repro trace --job``),
+* :mod:`~repro.obsplane.log` — stderr :mod:`logging` wiring
+  (``REPRO_LOG_LEVEL``) emitting the same structured records as the
+  event log.
+
+Everything is bit-identity-safe: the plane rides existing frames and
+fragments, and nothing it records enters simulation state or the cache
+fingerprint.
+"""
+
+from .corr import (
+    CORR_ENV,
+    current_corr_id,
+    mint_corr_id,
+    propagate_corr_id,
+)
+from .events import (
+    EVENT_KINDS,
+    EV_ADMITTED,
+    EV_CACHE_HIT,
+    EV_CANCELLED,
+    EV_COALESCED,
+    EV_DONE,
+    EV_EXECUTING,
+    EV_FAILED,
+    EV_HOST_DEATH,
+    EV_HOST_DEPLOY,
+    EV_HOST_REPLACE,
+    EV_QUEUED,
+    EV_REJECTED,
+    EV_SUBMITTED,
+    EV_WORKER_EXIT,
+    EV_WORKER_SPAWN,
+    EventLog,
+    NULL_EVENT_LOG,
+    NullEventLog,
+    follow_events,
+    format_event,
+    open_event_log,
+    read_events,
+)
+from .log import LOG_LEVEL_ENV, get_logger, log_record
+from .metrics import (
+    COUNTER_METRICS,
+    LATENCY_BUCKETS,
+    LatencyHistogram,
+    NULL_SERVICE_METRICS,
+    NullServiceMetrics,
+    PHASES,
+    ServiceMetrics,
+)
+from .stitch import (
+    SERVICE_TRACK,
+    dict_to_event,
+    event_to_dict,
+    export_job_trace,
+    stitch_job_trace,
+)
+
+__all__ = [
+    "CORR_ENV",
+    "mint_corr_id",
+    "current_corr_id",
+    "propagate_corr_id",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "open_event_log",
+    "read_events",
+    "follow_events",
+    "format_event",
+    "EVENT_KINDS",
+    "EV_SUBMITTED",
+    "EV_CACHE_HIT",
+    "EV_COALESCED",
+    "EV_REJECTED",
+    "EV_ADMITTED",
+    "EV_QUEUED",
+    "EV_EXECUTING",
+    "EV_DONE",
+    "EV_FAILED",
+    "EV_CANCELLED",
+    "EV_WORKER_SPAWN",
+    "EV_WORKER_EXIT",
+    "EV_HOST_DEPLOY",
+    "EV_HOST_DEATH",
+    "EV_HOST_REPLACE",
+    "ServiceMetrics",
+    "NullServiceMetrics",
+    "NULL_SERVICE_METRICS",
+    "LatencyHistogram",
+    "LATENCY_BUCKETS",
+    "COUNTER_METRICS",
+    "PHASES",
+    "get_logger",
+    "log_record",
+    "LOG_LEVEL_ENV",
+    "SERVICE_TRACK",
+    "event_to_dict",
+    "dict_to_event",
+    "stitch_job_trace",
+    "export_job_trace",
+]

@@ -1,0 +1,65 @@
+"""Process logging for the service and farm paths.
+
+Thin wiring over stdlib :mod:`logging`: one stderr handler configured
+lazily on first use, level from the ``REPRO_LOG_LEVEL`` environment
+variable (default ``WARNING`` — the library stays silent unless asked).
+:func:`log_record` emits the same structured shape as the JSONL event
+log (``kind key=value ...``), so an operator grepping stderr and one
+tailing the event log see the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    _configured = True
+    root = logging.getLogger("repro")
+    if root.handlers:
+        return  # the application configured logging itself
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)s %(name)s: %(message)s",
+        datefmt="%H:%M:%S"))
+    root.addHandler(handler)
+    level_name = os.environ.get(LOG_LEVEL_ENV, "").strip().upper()
+    level = getattr(logging, level_name, None) \
+        if level_name else logging.WARNING
+    if not isinstance(level, int):
+        level = logging.WARNING
+    root.setLevel(level)
+    root.propagate = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy with the stderr handler
+    and ``REPRO_LOG_LEVEL`` applied (idempotent)."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_record(logger: logging.Logger, kind: str,
+               level: int = logging.INFO,
+               corr: str = "", **fields) -> None:
+    """Log one structured record: ``kind corr=... key=value ...`` —
+    the stderr twin of an event-log entry."""
+    if not logger.isEnabledFor(level):
+        return
+    parts = [kind]
+    if corr:
+        parts.append(f"corr={corr}")
+    parts.extend(f"{key}={value}" for key, value in fields.items()
+                 if value not in ("", None))
+    logger.log(level, " ".join(parts))

@@ -1,0 +1,228 @@
+"""Service-level metrics: counters, gauges and latency histograms with
+a Prometheus text rendering.
+
+Distinct from :mod:`repro.telemetry.metrics` (deterministic
+*modelled-time* per-partition instruments merged into run records),
+these are *wall-clock service* metrics: how long jobs queue, how often
+the cache hits, how many requests each tenant pushes.  They live on
+the service scheduler, cost a few dict operations per job event, and
+are scraped through ``GET /metrics`` in the Prometheus exposition
+format (text/plain; version 0.0.4) or as a JSON snapshot in
+``/stats`` (what ``repro top`` renders).
+
+Latency is split into the three phases a job spends time in::
+
+    queue_wait    submit -> worker pickup
+    cache_lookup  the fingerprint probe at submit
+    execution     worker pickup -> terminal
+
+each a per-tenant histogram over log-spaced buckets; p50/p95/p99 are
+estimated by linear interpolation within the landing bucket — exact
+enough for an operator display, cheap enough to compute per scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: log-spaced latency buckets in seconds (le= labels); +Inf implied
+LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.5, 10.0, 60.0)
+
+#: the three per-tenant latency phases
+PHASES = ("queue_wait", "cache_lookup", "execution")
+
+#: counter short-name -> rendered metric name
+COUNTER_METRICS = {
+    "submitted": "repro_service_jobs_submitted_total",
+    "rejected": "repro_service_admission_rejected_total",
+    "cache_hits": "repro_service_cache_hits_total",
+    "coalesced": "repro_service_coalesced_total",
+    "completed": "repro_service_jobs_completed_total",
+    "failed": "repro_service_jobs_failed_total",
+    "cancelled": "repro_service_jobs_cancelled_total",
+    "executions": "repro_service_executions_total",
+}
+
+
+class LatencyHistogram:
+    """One fixed-bucket histogram (counts are cumulative only at
+    render time, kept per-bucket internally)."""
+
+    __slots__ = ("buckets", "counts", "inf_count", "total", "sum")
+
+    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.inf_count = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum += seconds
+        for i, edge in enumerate(self.buckets):
+            if seconds <= edge:
+                self.counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1) by interpolating within the
+        landing bucket; 0.0 when empty."""
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0.0
+        lower = 0.0
+        for i, edge in enumerate(self.buckets):
+            if seen + self.counts[i] >= rank:
+                inside = self.counts[i]
+                frac = (rank - seen) / inside if inside else 0.0
+                return lower + (edge - lower) * frac
+            seen += self.counts[i]
+            lower = edge
+        # landed past the last finite edge: report that edge (the
+        # honest answer is "at least this much")
+        return self.buckets[-1]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """The service's always-on metric surface.
+
+    Counters and histograms are keyed by tenant; gauges (queue depth,
+    active jobs) are read from the scheduler at scrape time via the
+    ``gauges`` argument of :meth:`render`/:meth:`snapshot`, so the
+    per-job hot path never maintains them.
+    """
+
+    enabled: bool = True
+
+    def __init__(self,
+                 buckets: Tuple[float, ...] = LATENCY_BUCKETS):
+        self.buckets = buckets
+        #: counter short-name -> {tenant: count}
+        self.counters: Dict[str, Dict[str, int]] = {
+            name: {} for name in COUNTER_METRICS}
+        #: (phase, tenant) -> histogram
+        self.latency: Dict[Tuple[str, str], LatencyHistogram] = {}
+
+    # -- the hot path -----------------------------------------------------
+
+    def inc(self, name: str, tenant: str, n: int = 1) -> None:
+        per_tenant = self.counters[name]
+        per_tenant[tenant] = per_tenant.get(tenant, 0) + n
+
+    def observe(self, phase: str, tenant: str,
+                seconds: float) -> None:
+        key = (phase, tenant)
+        hist = self.latency.get(key)
+        if hist is None:
+            hist = self.latency[key] = LatencyHistogram(self.buckets)
+        hist.observe(seconds)
+
+    # -- scrape surfaces --------------------------------------------------
+
+    def snapshot(self, gauges: Optional[dict] = None) -> dict:
+        """JSON view for ``/stats`` and ``repro top``."""
+        tenants = sorted({t for per in self.counters.values()
+                          for t in per}
+                         | {t for _, t in self.latency})
+        latency: Dict[str, Dict[str, dict]] = {}
+        for (phase, tenant), hist in sorted(self.latency.items()):
+            latency.setdefault(phase, {})[tenant] = hist.snapshot()
+        out = {
+            "tenants": tenants,
+            "counters": {name: dict(sorted(per.items()))
+                         for name, per in self.counters.items()},
+            "latency": latency,
+        }
+        if gauges:
+            out["gauges"] = gauges
+        return out
+
+    def render(self, gauges: Optional[dict] = None) -> str:
+        """The Prometheus text exposition (``GET /metrics``).
+
+        ``gauges`` carries scrape-time values:
+        ``{"queue_depth": {tenant: n}, "active_jobs": n,
+        "workers": n}`` — whatever keys are present are rendered.
+        """
+        lines: List[str] = []
+
+        def counter(name: str, metric: str) -> None:
+            per = self.counters[name]
+            lines.append(f"# TYPE {metric} counter")
+            if not per:
+                lines.append(f"{metric} 0")
+                return
+            for tenant in sorted(per):
+                lines.append(f'{metric}{{tenant="{tenant}"}} '
+                             f"{per[tenant]}")
+
+        gauges = gauges or {}
+        depth = gauges.get("queue_depth")
+        if depth is not None:
+            lines.append("# TYPE repro_service_queue_depth gauge")
+            if isinstance(depth, dict):
+                if not depth:
+                    lines.append("repro_service_queue_depth 0")
+                for tenant in sorted(depth):
+                    lines.append(
+                        f'repro_service_queue_depth'
+                        f'{{tenant="{tenant}"}} {depth[tenant]}')
+            else:
+                lines.append(f"repro_service_queue_depth {depth}")
+        for key in ("active_jobs", "workers"):
+            if key in gauges:
+                lines.append(f"# TYPE repro_service_{key} gauge")
+                lines.append(f"repro_service_{key} {gauges[key]}")
+        for name, metric in COUNTER_METRICS.items():
+            counter(name, metric)
+        metric = "repro_service_latency_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        for (phase, tenant), hist in sorted(self.latency.items()):
+            base = f'phase="{phase}",tenant="{tenant}"'
+            cumulative = 0
+            for i, edge in enumerate(hist.buckets):
+                cumulative += hist.counts[i]
+                lines.append(f'{metric}_bucket{{{base},le="{edge:g}"}}'
+                             f" {cumulative}")
+            cumulative += hist.inf_count
+            lines.append(f'{metric}_bucket{{{base},le="+Inf"}} '
+                         f"{cumulative}")
+            lines.append(f"{metric}_sum{{{base}}} {hist.sum:.9g}")
+            lines.append(f"{metric}_count{{{base}}} {hist.total}")
+        return "\n".join(lines) + "\n"
+
+
+class NullServiceMetrics:
+    """Disabled metric surface (benchmark baseline); same API,
+    no state."""
+
+    enabled: bool = False
+
+    def inc(self, name: str, tenant: str,
+            n: int = 1) -> None:  # pragma: no cover
+        pass
+
+    def observe(self, phase: str, tenant: str,
+                seconds: float) -> None:  # pragma: no cover
+        pass
+
+    def snapshot(self, gauges: Optional[dict] = None) -> dict:
+        return {}
+
+    def render(self, gauges: Optional[dict] = None) -> str:
+        return ""
+
+
+NULL_SERVICE_METRICS = NullServiceMetrics()

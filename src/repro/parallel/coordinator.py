@@ -42,6 +42,7 @@ from ..errors import (BackendUnavailableError, DeadlockError,
                       SimulationError, UnknownBackendError,
                       UnsupportedTopologyError, WorkerError)
 from ..observability.postmortem import DeadlockPostmortem
+from ..obsplane.events import EV_WORKER_EXIT, EV_WORKER_SPAWN
 from ..observability.tracer import (NULL_TRACER, RecordingTracer,
                                     TraceEvent)
 from ..reliability.supervisor import InjectedCrash
@@ -220,6 +221,9 @@ class ProcessBackend:
         #: {partition: {"messages_sent": ..., "frames_pushed": ...}};
         #: benchmark instrumentation, never part of simulation state
         self.last_wire_stats: Dict[str, dict] = {}
+        #: per-worker corr-id echo from the last completed run — the
+        #: propagation proof (observability only, never merged)
+        self.last_worker_corr: Dict[str, str] = {}
 
     # -- public entry ---------------------------------------------------------
 
@@ -348,6 +352,7 @@ class ProcessBackend:
                 "socket": (dict(socket_plan,
                                 peers=sorted(linked[name]))
                            if socket_plan is not None else None),
+                "corr_id": getattr(sim, "corr_id", "") or "",
             }
             procs[name] = ctx.Process(
                 target=worker_main,
@@ -357,6 +362,13 @@ class ProcessBackend:
                 name=f"repro-worker-{name}", daemon=True)
         for proc in procs.values():
             proc.start()
+        events = getattr(sim, "events", None)
+        if events is not None and events.enabled:
+            corr = getattr(sim, "corr_id", "")
+            for name, proc in procs.items():
+                events.emit(EV_WORKER_SPAWN, corr=corr, part=name,
+                            worker_pid=proc.pid,
+                            backend=self._backend_label)
         # the children own these ends now; closing them here is what
         # turns any single worker death into EOFs everywhere else
         for conns in data.values():
@@ -524,6 +536,17 @@ class ProcessBackend:
         self.last_wire_stats = {
             n: frag.get("wire_stats", {})
             for n, frag in fragments.items()}
+        self.last_worker_corr = {
+            n: frag.get("corr", "")
+            for n, frag in fragments.items()}
+        sim.last_worker_corr = dict(self.last_worker_corr)
+        events = getattr(sim, "events", None)
+        if events is not None and events.enabled:
+            corr = getattr(sim, "corr_id", "")
+            for n, proc in procs.items():
+                events.emit(EV_WORKER_EXIT, corr=corr, part=n,
+                            worker_pid=proc.pid,
+                            exitcode=proc.exitcode)
         self._merge(sim, fragments)
         sim.last_run_backend = self._backend_label
         self._finish_telemetry(sim)

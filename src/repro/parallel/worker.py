@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..observability.tracer import RecordingTracer
+from ..obsplane.corr import current_corr_id, propagate_corr_id
 from .channels import EffectFrame, FrameConduit, FrameInbox, MetricFrame
 from .shm import FramePacker, ShmConduit, ShmRing
 from .socket_transport import (SocketChannel, SocketConduit,
@@ -595,6 +596,9 @@ class PartitionWorker:
             # metric frames above
             "telemetry": (sim.telemetry.state_dict()
                           if sim.telemetry.enabled else None),
+            # observability echo: the corr id this worker's process
+            # actually observed (diagnostics; never merged into state)
+            "corr": current_corr_id(),
             # wire accounting (benchmarks; never merged into sim state)
             "wire_stats": {
                 "messages_sent": sum(c.messages_sent
@@ -634,6 +638,11 @@ def worker_main(sim, name, order, target_cycles, max_passes,
     """
     global IN_WORKER
     IN_WORKER = True
+    # adopt the request's correlation id: visible to anything this
+    # worker execs, and echoed home in the result fragment
+    corr_id = options.get("corr_id", "")
+    if corr_id:
+        propagate_corr_id(corr_id)
     for conn in unrelated_conns:
         try:
             conn.close()

@@ -49,8 +49,12 @@ class ServiceClient:
 
     # -- the wire ---------------------------------------------------------
 
-    def request(self, method: str, path: str, body: Optional[dict] = None,
-                timeout: Optional[float] = None) -> Tuple[int, dict]:
+    def request_raw(self, method: str, path: str,
+                    body: Optional[dict] = None,
+                    timeout: Optional[float] = None
+                    ) -> Tuple[int, bytes]:
+        """One exchange, body returned verbatim (``/metrics`` is
+        text, not JSON)."""
         payload = json.dumps(body).encode() if body is not None else b""
         head = (f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}\r\n"
@@ -76,8 +80,17 @@ class ServiceClient:
         header, _, body_bytes = raw.partition(b"\r\n\r\n")
         try:
             status = int(header.split(None, 2)[1])
-            parsed = json.loads(body_bytes) if body_bytes else {}
         except (IndexError, ValueError) as exc:
+            raise ServiceError(f"malformed service response: {exc}")
+        return status, body_bytes
+
+    def request(self, method: str, path: str, body: Optional[dict] = None,
+                timeout: Optional[float] = None) -> Tuple[int, dict]:
+        status, body_bytes = self.request_raw(method, path, body,
+                                              timeout=timeout)
+        try:
+            parsed = json.loads(body_bytes) if body_bytes else {}
+        except ValueError as exc:
             raise ServiceError(f"malformed service response: {exc}")
         return status, parsed
 
@@ -105,6 +118,13 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        status, body = self.request_raw("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(f"GET /metrics failed: HTTP {status}")
+        return body.decode("utf-8", "replace")
 
     def submit(self, config: dict, tenant: str = "default",
                priority: int = 0, name: str = "") -> dict:

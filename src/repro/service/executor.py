@@ -8,7 +8,10 @@ A job config is a plain JSON dict naming what to run.  Two kinds:
   ``process``, ``process-shm``, ``process-socket``),
 * ``{"kind": "experiment", "experiment": NAME}`` — one of the paper's
   table/figure experiments; the final partitioned run it performs is
-  what gets archived (and therefore cached).
+  what gets archived (and therefore cached),
+* ``{"kind": "farm", "hosts": MANIFEST, ...}`` — a simulate-shaped run
+  placed across the simulated run farm (rollback + re-placement on
+  host death); ``kill_host``/``kill_at_pass`` inject a host loss.
 
 :func:`normalize_config` fills every default *before* the config is
 fingerprinted, so semantically identical requests — one spelling
@@ -30,6 +33,7 @@ from typing import Callable, List, Optional
 from ..errors import ServiceError
 from ..fireripper import FireRipper, PartitionGroup, PartitionSpec
 from ..firrtl import parse_circuit
+from ..obsplane.stitch import event_to_dict
 from ..platform import (
     ETHERNET_100G,
     HOST_PCIE,
@@ -51,6 +55,16 @@ SIMULATE_DEFAULTS = {
     "freq": 30.0,
     "cycles": 1000,
     "backend": "auto",
+}
+
+FARM_DEFAULTS = {
+    "mode": "exact",
+    "transport": "qsfp",
+    "freq": 30.0,
+    "cycles": 1000,
+    "checkpoint_every": 100,
+    "kill_host": "",
+    "kill_at_pass": 0,
 }
 
 
@@ -129,11 +143,50 @@ def normalize_config(config: dict) -> dict:
                 f"unknown experiment config key(s): "
                 f"{', '.join(sorted(unknown))}")
         return {"kind": "experiment", "experiment": name}
+    if kind == "farm":
+        normalized = {"kind": "farm"}
+        if "circuit_text" in config:
+            normalized["circuit_text"] = str(config["circuit_text"])
+        elif "circuit" in config:
+            normalized["circuit"] = str(config["circuit"])
+        else:
+            raise ServiceError(
+                "farm config wants 'circuit' (a file path) or "
+                "'circuit_text' (inline IR)")
+        normalized["extract"] = _normalize_extract(
+            config.get("extract"))
+        # the manifest is canonicalized through FarmSpec so two
+        # spellings of the same farm fingerprint identically
+        from ..farm import FarmSpec
+        normalized["hosts"] = FarmSpec.from_dict(
+            config.get("hosts") or {}).to_dict()
+        colocate = config.get("colocate", [])
+        if colocate:
+            normalized["colocate"] = _normalize_extract(colocate)
+        else:
+            normalized["colocate"] = []
+        for key, default in FARM_DEFAULTS.items():
+            value = config.get(key, default)
+            normalized[key] = type(default)(value)
+        if normalized["transport"] not in TRANSPORTS:
+            raise ServiceError(
+                f"unknown transport {normalized['transport']!r}; "
+                f"valid: {', '.join(sorted(TRANSPORTS))}")
+        if normalized["cycles"] < 1:
+            raise ServiceError("cycles must be >= 1")
+        unknown = set(config) - set(normalized) \
+            - {"extract", "hosts", "colocate"}
+        if unknown:
+            raise ServiceError(
+                f"unknown farm config key(s): "
+                f"{', '.join(sorted(unknown))}")
+        return normalized
     raise ServiceError(
-        f"unknown job kind {kind!r}; valid: simulate, experiment")
+        f"unknown job kind {kind!r}; valid: simulate, experiment, "
+        f"farm")
 
 
-def build_simulation(config: dict, telemetry=None):
+def build_simulation(config: dict, telemetry=None, tracer=None):
     """Compile and wire the partitioned simulation a normalized
     simulate config describes (no run)."""
     if "circuit_text" in config:
@@ -153,25 +206,89 @@ def build_simulation(config: dict, telemetry=None):
     return design.build_simulation(
         TRANSPORTS[config["transport"]],
         host_freq_mhz=config["freq"],
-        telemetry=telemetry)
+        telemetry=telemetry,
+        tracer=tracer)
+
+
+def _obs_extra(corr_id: str, worker_corr, tracer) -> Optional[dict]:
+    """The ``extra={"obs": ...}`` payload of an archived record —
+    observability identity only, never part of the cache fingerprint
+    or the result detail."""
+    obs: dict = {}
+    if corr_id:
+        obs["corr_id"] = corr_id
+        if worker_corr:
+            obs["worker_corr"] = dict(worker_corr)
+    if tracer is not None and len(tracer):
+        obs["trace_events"] = [event_to_dict(e)
+                               for e in tracer.events]
+    return obs or None
 
 
 def execute_config(config: dict, telemetry=None,
-                   should_stop: Optional[Callable[[], bool]] = None
-                   ) -> ExecutionOutcome:
+                   should_stop: Optional[Callable[[], bool]] = None,
+                   corr_id: str = "",
+                   events=None,
+                   tracer=None) -> ExecutionOutcome:
     """Run one normalized job config to completion (or until
-    ``should_stop`` fires) and return the outcome."""
+    ``should_stop`` fires) and return the outcome.
+
+    ``corr_id``/``events``/``tracer`` thread the observability plane
+    through: the correlation id rides into every worker and agent the
+    run forks (and is echoed back per partition), lifecycle events for
+    the execution fabric land in ``events``, and captured trace spans
+    are archived under the record's ``obs`` extra for stitching."""
     kind = config.get("kind", "simulate")
     if kind == "simulate":
-        sim = build_simulation(config, telemetry=telemetry)
+        sim = build_simulation(config, telemetry=telemetry,
+                               tracer=tracer)
+        sim.corr_id = corr_id
+        if events is not None:
+            sim.events = events
         stop = None
         if should_stop is not None:
             def stop(_sim, _check=should_stop):  # noqa: F811
                 return _check()
         result = sim.run(config["cycles"], stop=stop,
                          backend=config["backend"])
+        extra = None
+        obs = _obs_extra(corr_id,
+                         getattr(sim, "last_worker_corr", {}), tracer)
+        if obs:
+            extra = {"obs": obs}
         return ExecutionOutcome(result,
-                                sim.last_run_backend or "inproc")
+                                sim.last_run_backend or "inproc",
+                                extra=extra)
+    if kind == "farm":
+        # imported lazily, mirroring the experiment branch
+        from ..farm import FarmManager, FarmSpec
+        if should_stop is not None and should_stop():
+            raise ServiceError("cancelled before start")
+        spec = FarmSpec.from_dict(config["hosts"])
+
+        def build():
+            sim = build_simulation(config, telemetry=telemetry,
+                                   tracer=tracer)
+            sim.corr_id = corr_id
+            if events is not None:
+                sim.events = events
+            return sim
+
+        host_faults = {config["kill_host"]: config["kill_at_pass"]} \
+            if config["kill_host"] else None
+        manager = FarmManager(
+            build, spec, colocate=config["colocate"],
+            checkpoint_every=config["checkpoint_every"],
+            host_faults=host_faults)
+        report = manager.launch(config["cycles"])
+        extra = {"farm": report.to_extra()}
+        obs = _obs_extra(
+            corr_id,
+            getattr(manager.backend, "last_worker_corr", {}),
+            tracer)
+        if obs:
+            extra["obs"] = obs
+        return ExecutionOutcome(report.result, "farm", extra=extra)
     if kind == "experiment":
         # imported lazily: the experiment modules pull in every target
         # and sweep, which a simulate-only service never needs
@@ -187,6 +304,9 @@ def execute_config(config: dict, telemetry=None,
                 "partitioned run to archive")
         extra = {"experiment": {"name": config["experiment"],
                                 "text": text}}
+        obs = _obs_extra(corr_id, {}, tracer)
+        if obs:
+            extra["obs"] = obs
         return ExecutionOutcome(session.results[-1], "inproc",
                                 extra=extra)
     raise ServiceError(f"unknown job kind {kind!r}")

@@ -72,9 +72,16 @@ class Job:
     run_id: Optional[str] = None
     error: str = ""
     live_path: Optional[str] = None
+    #: request-scoped correlation id, minted at submit and propagated
+    #: into every worker/agent subprocess the job touches
+    corr_id: str = ""
     submitted: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
+    #: phase latencies (seconds), filled as the job crosses each phase
+    cache_lookup_s: Optional[float] = None
+    queue_wait_s: Optional[float] = None
+    execution_s: Optional[float] = None
     #: headline result numbers (see :func:`result_summary`); partial
     #: for cancelled jobs, None until terminal
     result: Optional[dict] = None
@@ -109,9 +116,13 @@ class Job:
             "run_id": self.run_id,
             "error": self.error,
             "live_path": self.live_path,
+            "corr_id": self.corr_id,
             "submitted": self.submitted,
             "started": self.started,
             "finished": self.finished,
+            "cache_lookup_s": self.cache_lookup_s,
+            "queue_wait_s": self.queue_wait_s,
+            "execution_s": self.execution_s,
             "cancel_requested": self.cancel_requested,
             "result": self.result,
         }

@@ -34,6 +34,25 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..errors import JobNotFoundError, ReproError
+from ..observability.tracer import RecordingTracer
+from ..obsplane import (
+    EV_ADMITTED,
+    EV_CACHE_HIT,
+    EV_CANCELLED,
+    EV_COALESCED,
+    EV_DONE,
+    EV_EXECUTING,
+    EV_FAILED,
+    EV_QUEUED,
+    EV_REJECTED,
+    EV_SUBMITTED,
+    NULL_SERVICE_METRICS,
+    ServiceMetrics,
+    get_logger,
+    log_record,
+    mint_corr_id,
+    open_event_log,
+)
 from ..telemetry import RunRegistry, Telemetry, config_fingerprint
 from .admission import AdmissionController, TenantQuota
 from .cache import ResultCache
@@ -66,6 +85,15 @@ class ServiceConfig:
     #: telemetry sample interval for executed jobs (0: none unless
     #: live_dir is set, which implies 50)
     metrics_every: int = 0
+    #: when set, lifecycle events append to this JSONL file
+    #: (``repro tail`` follows it); None keeps the null sink
+    event_log: Optional[Union[str, Path]] = None
+    #: per-job trace capture ring for stitched traces
+    #: (``repro trace --job``); 0 attaches no tracer
+    trace_events: int = 0
+    #: wall-clock service metrics (/metrics, repro top); a few dict
+    #: ops per job event — False swaps in the null surface
+    service_metrics: bool = True
     default_quota: TenantQuota = dataclass_field(
         default_factory=TenantQuota)
     quotas: Dict[str, TenantQuota] = dataclass_field(
@@ -97,6 +125,10 @@ class SimulationService:
             "failed": 0,
             "cancelled": 0,
         }
+        self.events = open_event_log(self.config.event_log)
+        self.metrics = ServiceMetrics() \
+            if self.config.service_metrics else NULL_SERVICE_METRICS
+        self._log = get_logger("repro.service")
         self._seq = 0
         self._running = False
         self._workers: List[asyncio.Task] = []
@@ -145,9 +177,18 @@ class SimulationService:
         self._seq += 1
         job = Job(job_id=f"job-{self._seq:06d}", tenant=tenant,
                   config=normalized, fingerprint=fingerprint,
-                  priority=int(priority), name=name)
+                  priority=int(priority), name=name,
+                  corr_id=mint_corr_id())
+        if self.events.enabled:
+            self.events.emit(EV_SUBMITTED, corr=job.corr_id,
+                             tenant=tenant, fingerprint=fingerprint,
+                             job=job.job_id, priority=job.priority)
         # 1. archived hit: serve from results/runs without queueing
+        lookup_start = time.perf_counter()
         record = self.cache.lookup(fingerprint)
+        job.cache_lookup_s = time.perf_counter() - lookup_start
+        self.metrics.observe("cache_lookup", tenant,
+                             job.cache_lookup_s)
         if record is not None:
             self._register(job)
             self._complete_from_record(job, record, SOURCE_CACHE)
@@ -157,21 +198,44 @@ class SimulationService:
             self._register(job)
             self.cache.flight.attach(fingerprint, job)
             self.counters["coalesced"] += 1
+            self.metrics.inc("coalesced", tenant)
+            if self.events.enabled:
+                self.events.emit(EV_COALESCED, corr=job.corr_id,
+                                 tenant=tenant,
+                                 fingerprint=fingerprint,
+                                 job=job.job_id)
             return job
         # 3. miss: quota-checked admission as the new leader
         try:
             self.admission.admit(job)
-        except ReproError:
+        except ReproError as exc:
             self.counters["rejected"] += 1
+            self.metrics.inc("rejected", tenant)
+            if self.events.enabled:
+                self.events.emit(EV_REJECTED, corr=job.corr_id,
+                                 tenant=tenant,
+                                 fingerprint=fingerprint,
+                                 job=job.job_id, error=str(exc))
+            log_record(self._log, EV_REJECTED, corr=job.corr_id,
+                       tenant=tenant, error=str(exc))
             raise
         self._register(job)
         self.cache.flight.begin(fingerprint, job)
+        if self.events.enabled:
+            self.events.emit(EV_ADMITTED, corr=job.corr_id,
+                             tenant=tenant, fingerprint=fingerprint,
+                             job=job.job_id)
+            self.events.emit(EV_QUEUED, corr=job.corr_id,
+                             tenant=tenant, fingerprint=fingerprint,
+                             job=job.job_id,
+                             priority=job.priority)
         self._work.set()
         return job
 
     def _register(self, job: Job) -> None:
         self.jobs[job.job_id] = job
         self.counters["submitted"] += 1
+        self.metrics.inc("submitted", job.tenant)
         self._idle.clear()
 
     # -- queries ----------------------------------------------------------
@@ -209,7 +273,25 @@ class SimulationService:
             "counters": dict(self.counters),
             "cache": self.cache.stats(),
             "admission": self.admission.snapshot(),
+            "metrics": self.metrics.snapshot(self.gauges()),
         }
+
+    def gauges(self) -> dict:
+        """Scrape-time gauge values (queue depth per tenant, active
+        jobs, worker count) — read from the admission controller, never
+        maintained on the job hot path."""
+        snap = self.admission.snapshot()
+        return {
+            "queue_depth": {
+                tenant: entry.get("queued", 0)
+                for tenant, entry in snap.get("tenants", {}).items()},
+            "active_jobs": snap.get("active", 0),
+            "workers": len(self._workers) or self.config.workers,
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition ``GET /metrics`` serves."""
+        return self.metrics.render(self.gauges())
 
     # -- cancellation -----------------------------------------------------
 
@@ -268,6 +350,9 @@ class SimulationService:
 
     async def _execute(self, job: Job) -> None:
         fingerprint = job.fingerprint
+        job.queue_wait_s = max(time.time() - job.submitted, 0.0)
+        self.metrics.observe("queue_wait", job.tenant,
+                             job.queue_wait_s)
         # late hit: another service sharing this registry (or an
         # earlier leader of a different name) may have archived the
         # key between submit and dispatch
@@ -285,17 +370,31 @@ class SimulationService:
         job.started = time.time()
         self.execution_log.append(job.job_id)
         self.counters["executions"] += 1
+        self.metrics.inc("executions", job.tenant)
+        if self.events.enabled:
+            self.events.emit(
+                EV_EXECUTING, corr=job.corr_id, tenant=job.tenant,
+                fingerprint=fingerprint, job=job.job_id,
+                queue_wait_s=round(job.queue_wait_s, 6))
+        log_record(self._log, EV_EXECUTING, corr=job.corr_id,
+                   job=job.job_id, tenant=job.tenant)
         telemetry = self._telemetry_for(job)
+        tracer = RecordingTracer(self.config.trace_events) \
+            if self.config.trace_events > 0 else None
         error: Optional[str] = None
         outcome = None
         try:
             outcome = await asyncio.to_thread(
                 execute_config, job.config, telemetry,
-                job.cancel_event.is_set)
+                job.cancel_event.is_set, corr_id=job.corr_id,
+                events=self.events, tracer=tracer)
         except ReproError as exc:
             error = str(exc)
         except Exception as exc:  # noqa: BLE001 — job, not service, fails
             error = f"{type(exc).__name__}: {exc}"
+        job.execution_s = time.time() - job.started
+        self.metrics.observe("execution", job.tenant,
+                             job.execution_s)
         entry = self.cache.flight.finish(fingerprint)
         followers = entry.followers if entry is not None else []
         if job.cancel_event.is_set():
@@ -339,7 +438,8 @@ class SimulationService:
             sample_every=every if every > 0 else 50,
             live_path=live_path,
             annotations={"job": job.job_id, "tenant": job.tenant,
-                         "fingerprint": job.fingerprint})
+                         "fingerprint": job.fingerprint,
+                         "corr_id": job.corr_id})
 
     # -- completion -------------------------------------------------------
 
@@ -350,6 +450,12 @@ class SimulationService:
         job.source = source
         if source == SOURCE_CACHE:
             self.counters["cache_hits"] += 1
+            self.metrics.inc("cache_hits", job.tenant)
+            if self.events.enabled:
+                self.events.emit(
+                    EV_CACHE_HIT, corr=job.corr_id,
+                    tenant=job.tenant, fingerprint=job.fingerprint,
+                    job=job.job_id, run_id=job.run_id or "")
         self._finish(job, DONE, source=source)
 
     def _finish(self, job: Job, state: str,
@@ -364,10 +470,25 @@ class SimulationService:
             self.admission.release(job)
         if state == DONE:
             self.counters["completed"] += 1
+            self.metrics.inc("completed", job.tenant)
         elif state == FAILED:
             self.counters["failed"] += 1
+            self.metrics.inc("failed", job.tenant)
         elif state == CANCELLED:
             self.counters["cancelled"] += 1
+            self.metrics.inc("cancelled", job.tenant)
+        kind = {DONE: EV_DONE, FAILED: EV_FAILED,
+                CANCELLED: EV_CANCELLED}.get(state, EV_DONE)
+        if self.events.enabled:
+            self.events.emit(kind, corr=job.corr_id,
+                             tenant=job.tenant,
+                             fingerprint=job.fingerprint,
+                             job=job.job_id, source=job.source,
+                             run_id=job.run_id or "",
+                             error=job.error)
+        log_record(self._log, kind, corr=job.corr_id,
+                   job=job.job_id, source=job.source,
+                   error=job.error)
         job.done_event.set()
         if all(j.terminal for j in self.jobs.values()):
             self._idle.set()

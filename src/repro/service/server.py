@@ -7,6 +7,7 @@ bundled :class:`~repro.service.client.ServiceClient`, or a load
 balancer health check can speak.  Routes::
 
     GET  /healthz                 liveness + job counts
+    GET  /metrics                 Prometheus text exposition
     GET  /stats                   counters, cache, admission snapshot
     POST /jobs                    submit {tenant, config, priority, name}
     GET  /jobs[?tenant=T]         list job records
@@ -38,6 +39,7 @@ from ..errors import (
     ReproError,
     ServiceError,
 )
+from ..obsplane import get_logger, log_record
 from .scheduler import ServiceConfig, SimulationService
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -71,6 +73,7 @@ class ServiceServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._log = get_logger("repro.service.http")
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -103,6 +106,8 @@ class ServiceServer:
             except Exception as exc:  # noqa: BLE001 — mapped to status
                 status, payload = _error_payload(exc)
             await self._respond(writer, status, payload)
+            log_record(self._log, "http", method=method, path=path,
+                       status=status)
         finally:
             try:
                 writer.close()
@@ -135,11 +140,16 @@ class ServiceServer:
         return method.upper(), split.path, query, body
 
     async def _respond(self, writer: asyncio.StreamWriter,
-                       status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+                       status: int, payload) -> None:
+        if isinstance(payload, str):  # /metrics: text exposition
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         head = (f"HTTP/1.1 {status} "
                 f"{_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         writer.write(head + body)
@@ -154,6 +164,8 @@ class ServiceServer:
         if parts == ["healthz"] and method == "GET":
             stats = service.stats()
             return 200, {"ok": True, "jobs": stats["jobs"]}
+        if parts == ["metrics"] and method == "GET":
+            return 200, service.metrics_text()
         if parts == ["stats"] and method == "GET":
             return 200, service.stats()
         if parts == ["jobs"]:

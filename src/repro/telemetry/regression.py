@@ -246,6 +246,25 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_service.json", "executions",
                 float(distinct), float(executions), 0.0))
+    service_metrics = load("BENCH_service_metrics.json")
+    if service_metrics is not None:
+        bound = service_metrics.get("bound_pct", 5.0)
+        value = service_metrics.get("null_plane_overhead_pct")
+        if value is not None and value > bound:
+            violations.append(Violation(
+                "BENCH_service_metrics.json",
+                "null_plane_overhead_pct", bound, value, 0.0))
+        for flag in ("metrics_scrape_ok", "corr_joined"):
+            value = service_metrics.get(flag)
+            if value is not None and not value:
+                violations.append(Violation(
+                    "BENCH_service_metrics.json", flag,
+                    1.0, 0.0, 0.0))
+        events = service_metrics.get("events_logged")
+        if events is not None and events < 1:
+            violations.append(Violation(
+                "BENCH_service_metrics.json", "events_logged",
+                1.0, float(events), 0.0))
     socket_tier = load("BENCH_socket_tier.json")
     if socket_tier is not None:
         speedup = socket_tier.get("socket_batching_speedup")

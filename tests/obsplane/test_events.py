@@ -1,0 +1,159 @@
+"""The structured event log: append/read roundtrip, filtering, the
+null sink, fork-safe whole-line appends, and the human rendering."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.obsplane import (
+    EV_DONE,
+    EV_QUEUED,
+    EV_SUBMITTED,
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    EventLog,
+    follow_events,
+    format_event,
+    mint_corr_id,
+    open_event_log,
+    read_events,
+)
+from repro.parallel import fork_available
+
+
+class TestEventLog:
+    def test_roundtrip(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        log.emit(EV_SUBMITTED, corr="corr-1", tenant="alice",
+                 job="job-1", priority=3)
+        log.emit(EV_DONE, corr="corr-1", tenant="alice", job="job-1")
+        log.close()
+        entries = list(read_events(tmp_path / "ev.jsonl"))
+        assert [e["kind"] for e in entries] == [EV_SUBMITTED, EV_DONE]
+        assert entries[0]["corr"] == "corr-1"
+        assert entries[0]["priority"] == 3
+        assert entries[0]["seq"] == 1 and entries[1]["seq"] == 2
+        for entry in entries:
+            assert entry["pid"] > 0
+            assert entry["ts_ns"] > 0
+            assert entry["wall"] > 0
+
+    def test_identity_fields_appear_only_when_set(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        log.emit(EV_QUEUED, corr="corr-2")
+        log.close()
+        (entry,) = read_events(tmp_path / "ev.jsonl")
+        assert entry["corr"] == "corr-2"
+        for absent in ("tenant", "fingerprint", "job", "part",
+                       "host"):
+            assert absent not in entry
+
+    def test_filters(self, tmp_path):
+        log = EventLog(tmp_path / "ev.jsonl")
+        log.emit(EV_SUBMITTED, corr="a", tenant="t1")
+        log.emit(EV_SUBMITTED, corr="b", tenant="t2")
+        log.emit(EV_DONE, corr="a", tenant="t1")
+        log.close()
+        path = tmp_path / "ev.jsonl"
+        assert len(list(read_events(path, corr="a"))) == 2
+        assert len(list(read_events(path, tenant="t2"))) == 1
+        assert len(list(read_events(path, kinds=[EV_DONE]))) == 1
+        assert len(list(read_events(path, corr="a",
+                                    kinds=[EV_DONE]))) == 1
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(path)
+        log.emit(EV_SUBMITTED, corr="a")
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "done", "corr"')  # torn mid-crash
+        assert [e["kind"] for e in read_events(path)] \
+            == [EV_SUBMITTED]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert list(read_events(tmp_path / "absent.jsonl")) == []
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(path)
+        for kind in EVENT_KINDS:
+            log.emit(kind, corr="c", detail="x")
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(EVENT_KINDS)
+        for line in lines:
+            json.loads(line)
+
+    @pytest.mark.skipif(not fork_available(),
+                        reason="needs fork")
+    def test_forked_child_appends_whole_lines(self, tmp_path):
+        """A forked child inheriting the log reopens its own stream;
+        parent and child lines interleave whole, each stamped with
+        the writer's pid."""
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(path)
+        log.emit(EV_SUBMITTED, corr="parent")
+        ctx = mp.get_context("fork")
+
+        def child(event_log):
+            for i in range(20):
+                event_log.emit("worker_spawn", corr="child", i=i)
+
+        proc = ctx.Process(target=child, args=(log,))
+        proc.start()
+        for i in range(20):
+            log.emit(EV_QUEUED, corr="parent", i=i)
+        proc.join(10.0)
+        assert proc.exitcode == 0
+        log.close()
+        entries = list(read_events(path))
+        assert len(entries) == 41
+        pids = {e["pid"] for e in entries}
+        assert len(pids) == 2
+        assert len([e for e in entries if e["corr"] == "child"]) == 20
+
+
+class TestNullAndOpen:
+    def test_null_log_disabled_and_silent(self):
+        assert NULL_EVENT_LOG.enabled is False
+        NULL_EVENT_LOG.emit(EV_SUBMITTED, corr="x")  # no-op
+        NULL_EVENT_LOG.close()
+
+    def test_open_event_log(self, tmp_path):
+        assert open_event_log(None) is NULL_EVENT_LOG
+        assert open_event_log("") is NULL_EVENT_LOG
+        log = open_event_log(tmp_path / "ev.jsonl")
+        assert isinstance(log, EventLog) and log.enabled
+        log.close()
+
+
+class TestFollowAndFormat:
+    def test_follow_yields_then_times_out(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(path)
+        log.emit(EV_SUBMITTED, corr="f1")
+        log.emit(EV_DONE, corr="f1")
+        log.close()
+        got = list(follow_events(path, corr="f1", poll=0.02,
+                                 timeout=0.2))
+        assert [e["kind"] for e in got] == [EV_SUBMITTED, EV_DONE]
+
+    def test_format_event(self):
+        corr = mint_corr_id()
+        line = format_event({"kind": EV_DONE, "wall": 1700000000.0,
+                             "corr": corr, "tenant": "alice",
+                             "run_id": "r-1", "seq": 3, "pid": 42})
+        assert EV_DONE in line
+        assert f"corr={corr}" in line
+        assert "tenant=alice" in line
+        assert "run_id=r-1" in line
+        assert "seq=" not in line and "pid=" not in line
+
+    def test_mint_corr_id_shape(self):
+        a, b = mint_corr_id(), mint_corr_id()
+        assert a.startswith("corr-") and len(a) == 17
+        assert a != b

@@ -1,0 +1,123 @@
+"""Service metrics: histogram quantiles, counters, the Prometheus
+text exposition, and the null surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsplane import (
+    COUNTER_METRICS,
+    LATENCY_BUCKETS,
+    NULL_SERVICE_METRICS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_quantiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+
+    def test_observe_and_snapshot(self):
+        hist = LatencyHistogram()
+        for value in (0.002, 0.002, 0.05, 1.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.054)
+        assert 0.0 < snap["p50"] <= snap["p95"] <= snap["p99"]
+
+    def test_quantiles_bracket_the_landing_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(0.05)  # lands in (0.02, 0.1]
+        assert 0.02 < hist.quantile(0.5) <= 0.1
+        assert 0.02 < hist.quantile(0.99) <= 0.1
+
+    def test_overflow_lands_in_inf_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(LATENCY_BUCKETS[-1] * 10)
+        assert hist.inf_count == 1
+        # the honest answer for an overflowed quantile: >= last edge
+        assert hist.quantile(0.5) == LATENCY_BUCKETS[-1]
+
+
+class TestServiceMetrics:
+    def test_counters_per_tenant(self):
+        metrics = ServiceMetrics()
+        metrics.inc("submitted", "alice")
+        metrics.inc("submitted", "alice")
+        metrics.inc("cache_hits", "bob")
+        snap = metrics.snapshot()
+        assert snap["counters"]["submitted"] == {"alice": 2}
+        assert snap["counters"]["cache_hits"] == {"bob": 1}
+        assert snap["tenants"] == ["alice", "bob"]
+
+    def test_latency_snapshot_by_phase_then_tenant(self):
+        metrics = ServiceMetrics()
+        metrics.observe("queue_wait", "alice", 0.01)
+        metrics.observe("execution", "alice", 0.2)
+        snap = metrics.snapshot()
+        assert set(snap["latency"]) == {"queue_wait", "execution"}
+        assert snap["latency"]["queue_wait"]["alice"]["count"] == 1
+
+    def test_gauges_ride_the_snapshot(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot({"active_jobs": 2, "workers": 4})
+        assert snap["gauges"]["active_jobs"] == 2
+
+    def test_render_prometheus_text(self):
+        metrics = ServiceMetrics()
+        metrics.inc("submitted", "alice", 3)
+        metrics.inc("cache_hits", "bob")
+        metrics.observe("execution", "alice", 0.05)
+        text = metrics.render({"queue_depth": {"alice": 1},
+                               "active_jobs": 1, "workers": 2})
+        assert text.endswith("\n")
+        assert '# TYPE repro_service_jobs_submitted_total counter' \
+            in text
+        assert 'repro_service_jobs_submitted_total{tenant="alice"} 3' \
+            in text
+        assert 'repro_service_cache_hits_total{tenant="bob"} 1' \
+            in text
+        assert 'repro_service_queue_depth{tenant="alice"} 1' in text
+        assert "repro_service_active_jobs 1" in text
+        assert "repro_service_workers 2" in text
+        assert "# TYPE repro_service_latency_seconds histogram" \
+            in text
+        base = 'phase="execution",tenant="alice"'
+        assert (f'repro_service_latency_seconds_bucket{{{base},'
+                f'le="+Inf"}} 1') in text
+        assert f"repro_service_latency_seconds_count{{{base}}} 1" \
+            in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        metrics = ServiceMetrics()
+        metrics.observe("execution", "t", 0.002)  # le=0.005 bucket
+        metrics.observe("execution", "t", 0.05)   # le=0.1 bucket
+        text = metrics.render()
+        base = 'phase="execution",tenant="t"'
+        assert (f'repro_service_latency_seconds_bucket{{{base},'
+                f'le="0.005"}} 1') in text
+        assert (f'repro_service_latency_seconds_bucket{{{base},'
+                f'le="0.1"}} 2') in text
+        assert (f'repro_service_latency_seconds_bucket{{{base},'
+                f'le="+Inf"}} 2') in text
+
+    def test_every_counter_renders_even_when_zero(self):
+        text = ServiceMetrics().render()
+        for metric in COUNTER_METRICS.values():
+            assert f"# TYPE {metric} counter" in text
+            assert f"{metric} 0" in text
+
+
+class TestNullServiceMetrics:
+    def test_disabled_and_empty(self):
+        assert NULL_SERVICE_METRICS.enabled is False
+        NULL_SERVICE_METRICS.inc("submitted", "t")
+        NULL_SERVICE_METRICS.observe("execution", "t", 1.0)
+        assert NULL_SERVICE_METRICS.snapshot() == {}
+        assert NULL_SERVICE_METRICS.render() == ""
