@@ -144,6 +144,8 @@ def cmd_simulate(args) -> int:
     sim = design.build_simulation(
         TRANSPORTS[args.transport], host_freq_mhz=args.freq,
         record_outputs=True, telemetry=telemetry)
+    if args.no_jit:
+        sim.stepjit = False
 
     stop = None
     if args.until:
@@ -157,6 +159,12 @@ def cmd_simulate(args) -> int:
     print(f"simulated {result.target_cycles} target cycles "
           f"in {result.wall_ns / 1e3:.1f} us of host time "
           f"[{sim.last_run_backend} backend]")
+    jit_report = sim.last_jit_report
+    if jit_report:  # process workers compile in their own processes
+        compiled = sum(1 for v in jit_report.values()
+                       if v.startswith("compiled"))
+        print(f"step plane: {compiled}/{len(jit_report)} partition(s) "
+              f"compiled ('repro jit' explains the rest)")
     print(f"rate: {result.rate_mhz:.3f} MHz over "
           f"{TRANSPORTS[args.transport].name}")
     print(f"tokens transferred: {result.tokens_transferred}")
@@ -178,6 +186,34 @@ def cmd_simulate(args) -> int:
             result, name=args.archive,
             backend=sim.last_run_backend or "inproc", config=config)
         print(f"archived run: {path}")
+    return 0
+
+
+def cmd_jit(args) -> int:
+    from .harness.stepjit import generate_sources, stepjit_enabled
+
+    circuit = _load(args.circuit)
+    design = FireRipper(_spec(args)).compile(circuit)
+    sim = design.build_simulation(
+        TRANSPORTS[args.transport], host_freq_mhz=args.freq,
+        record_outputs=True)
+    enabled = stepjit_enabled(sim)
+    print(f"step-plane JIT: {'enabled' if enabled else 'disabled'} "
+          f"(REPRO_STEPJIT)")
+    for name, (src, reason) in generate_sources(sim).items():
+        if src is None:
+            print(f"{name}: interpreted — {reason}")
+            continue
+        lines = len(src.splitlines())
+        print(f"{name}: compiled, {lines} lines")
+        if args.dump:
+            print(src)
+            for prefix, unit in sim.partitions[name].units:
+                for kernel in getattr(unit, "_stepjit_kernels", ()) or ():
+                    ksrc = getattr(kernel, "_stepjit_source", None)
+                    if ksrc:
+                        print(f"# kernel for {prefix}{unit.name}")
+                        print(ksrc)
     return 0
 
 
@@ -951,7 +987,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sim.add_argument("--runs-dir", default="results/runs",
                        help="run registry directory "
                             "(default: results/runs)")
+    p_sim.add_argument("--no-jit", action="store_true",
+                       help="run the interpreted wavefront loop instead "
+                            "of the compiled step functions (results "
+                            "are bit-identical either way; the "
+                            "interpreter keeps every combinational "
+                            "signal peekable between passes)")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_jit = subs.add_parser(
+        "jit",
+        help="explain/dump the compiled step plane for a design")
+    _add_common(p_jit)
+    p_jit.add_argument("--transport", choices=TRANSPORTS, default="qsfp")
+    p_jit.add_argument("--freq", type=float, default=30.0)
+    p_jit.add_argument("--dump", action="store_true",
+                       help="print the generated step-function and "
+                            "RTL-kernel sources")
+    p_jit.set_defaults(fn=cmd_jit)
 
     p_rel = subs.add_parser(
         "reliability",

@@ -244,7 +244,7 @@ class _OutOp:
 
     __slots__ = ("full", "codec", "width", "dep_keys", "link", "switch",
                  "clean", "tx_ns", "rx_ns", "occupancy_ns", "wire_ns",
-                 "repack", "dst_codec", "dst_part_name")
+                 "repack", "dst_codec", "dst_part_name", "consume_q")
 
     def __init__(self, full: str, codec: TokenCodec,
                  dep_keys: Tuple[Tuple[str, str], ...]):
@@ -262,6 +262,10 @@ class _OutOp:
         self.repack = None
         self.dst_codec: Optional[TokenCodec] = None
         self.dst_part_name = ""
+        #: the destination channel's consume-time deque, resolved at
+        #: schedule-compile time so the credit path never builds a
+        #: throwaway deque per drained token
+        self.consume_q: Optional[Deque[float]] = None
 
 
 class _UnitPlan:
@@ -269,7 +273,7 @@ class _UnitPlan:
 
     __slots__ = ("part", "prefix", "unit", "out_ops", "in_keys",
                  "consume_keys", "host_cycle_ns", "batchable",
-                 "source_ops")
+                 "source_ops", "ctr_stall", "ctr_bridge", "ctr_tx")
 
     def __init__(self, part: Partition, prefix: str, unit: LIBDNHost):
         self.part = part
@@ -282,6 +286,12 @@ class _UnitPlan:
         self.batchable = False
         #: (key, channel, source, unit) for this unit's source-fed inputs
         self.source_ops: List[tuple] = []
+        #: telemetry counters, resolved lazily on first use so the hot
+        #: loop skips the registry lookup and the instrument-creation
+        #: order stays identical to the uncached code
+        self.ctr_stall = None
+        self.ctr_bridge = None
+        self.ctr_tx = None
 
 
 class _PartPlan:
@@ -391,6 +401,18 @@ class PartitionedSimulation:
         #: cycles per scheduling pass (set per run; off under telemetry
         #: sampling and stop callbacks, which observe pass granularity)
         self._batching = False
+        #: compiled step plane (harness/stepjit.py): per-partition
+        #: exec-compiled step functions, recompiled alongside the
+        #: schedule; partitions missing from the table run interpreted
+        self._step_fns: Dict[str, Callable[[int], bool]] = {}
+        #: per-partition compile verdicts of the last step-plane build
+        self.last_jit_report: Dict[str, str] = {}
+        #: tri-state JIT override: None honours ``REPRO_STEPJIT``,
+        #: True/False force it (the CLI's ``--no-jit`` sets False)
+        self.stepjit: Optional[bool] = None
+        #: cached (tokens_rx counter, rx_depth histogram) per receiving
+        #: partition, resolved lazily in :meth:`apply_link_delivery`
+        self._rx_instruments: Dict[str, tuple] = {}
         self._install_tracer()
         self._validate(seed_boundary)
         self.total_tokens = 0
@@ -493,9 +515,14 @@ class PartitionedSimulation:
         depth = len(queue)
         link.depth_hist[depth] = link.depth_hist.get(depth, 0) + 1
         if self._metrics_on:
-            registry = self.telemetry.registry
-            registry.counter("tokens_rx", link.dst[0]).inc()
-            registry.histogram("rx_depth", link.dst[0]).observe(depth)
+            inst = self._rx_instruments.get(dst[0])
+            if inst is None:
+                registry = self.telemetry.registry
+                inst = self._rx_instruments[dst[0]] = (
+                    registry.counter("tokens_rx", dst[0]),
+                    registry.histogram("rx_depth", dst[0]))
+            inst[0].inc()
+            inst[1].observe(depth)
         if self._trace:
             self.tracer.emit(TraceEvent(
                 "token_rx", ts_ns=arrive_ns,
@@ -527,9 +554,14 @@ class PartitionedSimulation:
         return self._schedule
 
     def invalidate_schedule(self) -> None:
-        """Drop the compiled schedule (rebuilt on next use); call after
-        swapping link transports or hooks outside ``run``."""
+        """Drop the compiled schedule and the step functions built
+        against it (rebuilt on next use); call after swapping link
+        transports or hooks outside ``run``, and after any wholesale
+        state replacement (checkpoint restore) — the step functions
+        close over live env/queue objects and must re-bind."""
         self._schedule = None
+        self._step_fns = {}
+        self._rx_instruments = {}
 
     def _compile_schedule(self) -> None:
         """Resolve the static (unit, channel, link, source) topology into
@@ -542,10 +574,23 @@ class PartitionedSimulation:
         schedule: List[_PartPlan] = []
         self._plan_by_part = {}
         self._unit_plan_index = {}
+        # pre-create the arrival and consume-time deques so both the
+        # interpreter and the compiled step functions mutate the same
+        # objects (the step plane binds them at compile time); an empty
+        # pre-created deque is indistinguishable from an absent key on
+        # every read path
+        arrivals = self._arrivals
+        for key in self._in_channel_by_key:
+            if key not in arrivals:
+                arrivals[key] = deque()
+        consume = self._consume_times
+        credited = self.channel_capacity is not None
         linked_parts = set()
         for link in self.links:
             linked_parts.add(link.src[0])
             linked_parts.add(link.dst[0])
+            if credited and link.dst not in consume:
+                consume[link.dst] = deque()
         for part in self.partitions.values():
             pplan = _PartPlan(part)
             for prefix, unit in part.units:
@@ -586,6 +631,8 @@ class PartitionedSimulation:
                             ch.codec, dst_ch.codec, link.rename)
                         op.dst_codec = dst_ch.codec
                         op.dst_part_name = link.dst[0]
+                        if credited:
+                            op.consume_q = consume[link.dst]
                     up.out_ops[base] = op
                 # isolated fast-mode partitions (all inputs source-fed,
                 # all outputs bridge taps, single unit) advance with no
@@ -601,6 +648,23 @@ class PartitionedSimulation:
             schedule.append(pplan)
             self._plan_by_part[part.name] = pplan
         self._schedule = schedule
+
+    def _compile_step_fns(self, only=None, eval_dedup: bool = True
+                          ) -> None:
+        """Build the compiled step plane for the current schedule (see
+        :mod:`repro.harness.stepjit`).  Must run after ``_batching`` is
+        set — the generator specializes the batch loop on it.  Eligible
+        partitions land in ``_step_fns``; the rest stay interpreted,
+        with the verdicts recorded in ``last_jit_report``."""
+        from .stepjit import compile_step_functions, stepjit_enabled
+        self._step_fns = {}
+        if not stepjit_enabled(self):
+            self.last_jit_report = {
+                name: "disabled (REPRO_STEPJIT / stepjit override)"
+                for name in self.partitions}
+            return
+        self._step_fns, self.last_jit_report = compile_step_functions(
+            self, only=only, eval_dedup=eval_dedup)
 
     # -- main loop ----------------------------------------------------------------
 
@@ -642,7 +706,7 @@ class PartitionedSimulation:
                 start = dep_start
                 link = op.link
                 if link is not None and self.channel_capacity is not None:
-                    consumed = self._consume_times.get(link.dst, deque())
+                    consumed = op.consume_q
                     credit_index = link.tokens - self.channel_capacity
                     if credit_index >= 0:
                         rel = credit_index - self._consume_base.get(
@@ -666,8 +730,12 @@ class PartitionedSimulation:
                 credit_wait = start - dep_start
                 spans.credit_stall_ns += credit_wait
                 if credit_wait and self._metrics_on:
-                    self.telemetry.registry.counter(
-                        "credit_stalls", part.name).inc()
+                    ctr = up.ctr_stall
+                    if ctr is None:
+                        ctr = up.ctr_stall = \
+                            self.telemetry.registry.counter(
+                                "credit_stalls", part.name)
+                    ctr.inc()
                 if credit_wait and self._trace:
                     self.tracer.emit(TraceEvent(
                         "credit_stall", ts_ns=dep_start,
@@ -679,8 +747,12 @@ class PartitionedSimulation:
                     # tap): drained by wide DMA batches, effectively free
                     part.busy_until = start
                     if self._metrics_on:
-                        self.telemetry.registry.counter(
-                            "bridge_outputs", part.name).inc()
+                        ctr = up.ctr_bridge
+                        if ctr is None:
+                            ctr = up.ctr_bridge = \
+                                self.telemetry.registry.counter(
+                                    "bridge_outputs", part.name)
+                        ctr.inc()
                     if self.record_outputs:
                         self.output_log.setdefault(
                             (part.name, op.full), []).append(
@@ -762,8 +834,12 @@ class PartitionedSimulation:
                 link.tokens += 1
                 self.total_tokens += 1
                 if self._metrics_on:
-                    self.telemetry.registry.counter(
-                        "tokens_tx", part.name).inc()
+                    ctr = up.ctr_tx
+                    if ctr is None:
+                        ctr = up.ctr_tx = \
+                            self.telemetry.registry.counter(
+                                "tokens_tx", part.name)
+                    ctr.inc()
             advanced = False
             if unit.can_advance():
                 host_cycle_ns = up.host_cycle_ns
@@ -870,20 +946,28 @@ class PartitionedSimulation:
                 self.telemetry.target_cycles or 0, target_cycles)
         # recompile the flat op schedule: post-construction transport or
         # hook swaps (harden_links, inject_faults) land here
-        self._schedule = None
+        self.invalidate_schedule()
         schedule = self.ensure_schedule()
         self._batching = stop is None and not self._metrics_on
+        # build the compiled step plane against the fresh schedule; a
+        # stop callback may poke RTL state between passes, so the
+        # redundant-eval elision is disabled under one
+        self._compile_step_fns(eval_dedup=stop is None)
         passes = 0
         while self.frontier_cycle() < target_cycles:
             if stop is not None and stop(self):
                 break
             progress = False
             for pplan in schedule:
-                self._feed_sources(pplan.part)
-                for up in pplan.unit_plans:
-                    if up.unit.target_cycle >= target_cycles:
-                        continue
-                    progress |= self._run_unit(up, target_cycles)
+                step = self._step_fns.get(pplan.part.name)
+                if step is not None:
+                    progress |= step(target_cycles)
+                else:
+                    self._feed_sources(pplan.part)
+                    for up in pplan.unit_plans:
+                        if up.unit.target_cycle >= target_cycles:
+                            continue
+                        progress |= self._run_unit(up, target_cycles)
                 if self._metrics_on:
                     # the sampler sees each partition right after its
                     # slot in the pass — the same point the process

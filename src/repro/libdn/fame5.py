@@ -110,6 +110,15 @@ class FAME5Host:
                        for name, word in t.drain_outbox_words())
         return out
 
+    def step_bindings(self) -> List[dict]:
+        """Per-thread fast-path bindings for the compiled step plane
+        (see :meth:`~repro.libdn.wrapper.LIBDNHost.step_bindings`).
+
+        The harness schedules FAME-5 threads as individual units, so the
+        step generator binds each thread separately; this aggregate view
+        exists for tooling that inspects a host as a whole."""
+        return [t.step_bindings() for t in self.threads]
+
     # -- observability ---------------------------------------------------------
 
     def attach_tracer(self, tracer, clock=None) -> None:

@@ -84,6 +84,38 @@ class LIBDNHost:
         )
         self._out_channel_list = tuple(self.out_channels.values())
 
+    def step_bindings(self) -> dict:
+        """Stable fast-path surface for the compiled step plane
+        (:mod:`repro.harness.stepjit`).
+
+        The generated per-partition step functions bypass
+        :meth:`try_fire_outputs` / :meth:`advance` and inline their
+        bodies against the objects returned here.  Everything in the
+        dict is *the* live object (not a copy): the precompiled fire
+        plans, the fired-flag dict, the RTL engine's signal environment
+        and compiled comb/tick functions.  The contract is that these
+        objects are mutated in place for the lifetime of one compiled
+        schedule — any wholesale replacement (a checkpoint restore, an
+        engine reset) must invalidate the schedule so the generator
+        re-binds.
+
+        ``comb``/``tick`` are ``None`` when the RTL engine runs
+        interpreted; the generator refuses such units.
+        """
+        sim = self.sim
+        compiled = getattr(sim, "compiled", False)
+        return {
+            "rtl": sim,
+            "env": sim.env,
+            "mems": sim.mem_state,
+            "comb": sim._comb_fn if compiled else None,
+            "tick": sim._tick_fn if compiled else None,
+            "fired": self._fired,
+            "fire_plans": self._fire_plans,
+            "in_plans": self._in_plans,
+            "out_channels": self._out_channel_list,
+        }
+
     def attach_tracer(self, tracer: Tracer,
                       clock: Optional[Callable[[], float]] = None) -> None:
         """Install a trace sink (and optionally a host-time clock) for
@@ -260,7 +292,11 @@ class LIBDNHost:
                                 for t in saved[name]["tokens"])
                 ch.total_enqueued = saved[name]["total_enqueued"]
         self.sim.restore(state["sim"])
-        self._fired = dict(state["fired"])
+        # mutate the fired dict in place: the compiled step plane binds
+        # this exact object (step_bindings), and a restore between runs
+        # must not leave those bindings pointing at a dead dict
+        self._fired.clear()
+        self._fired.update(state["fired"])
         self.outbox = [
             (name, self.out_channels[name].codec.encode(token))
             for name, token in state["outbox"]

@@ -222,7 +222,9 @@ class PartitionWorker:
         # the wavefront schedule is compiled per-process: the parent
         # dispatched to the backend before compiling its own, and the
         # hooks/links may have changed since any inherited compile
-        sim._schedule = None
+        # (invalidate also drops any step functions inherited from the
+        # parent — they bind the parent's pre-fork objects)
+        sim.invalidate_schedule()
         sim.ensure_schedule()
         sim._batching = not sim._metrics_on
 
@@ -259,6 +261,12 @@ class PartitionWorker:
             sim.tracer = self._tracer
             sim._trace = True
             sim._install_tracer()
+
+        # compiled step plane for this partition only (the wavefront
+        # protocol runs peer passes through frame application, never
+        # through their step functions); compiled last so the guard
+        # sees the final tracer/telemetry/router configuration
+        sim._compile_step_fns(only={name})
 
     # -- plumbing ------------------------------------------------------------
 
@@ -439,11 +447,15 @@ class PartitionWorker:
         sim, part = self.sim, self.part
         progress = False
         if part.target_cycle < self.target_cycles:
-            sim._feed_sources(part)
-            for up in sim._plan_by_part[self.name].unit_plans:
-                if up.unit.target_cycle >= self.target_cycles:
-                    continue
-                progress |= sim._run_unit(up, self.target_cycles)
+            step = sim._step_fns.get(self.name)
+            if step is not None:
+                progress = step(self.target_cycles)
+            else:
+                sim._feed_sources(part)
+                for up in sim._plan_by_part[self.name].unit_plans:
+                    if up.unit.target_cycle >= self.target_cycles:
+                        continue
+                    progress |= sim._run_unit(up, self.target_cycles)
             if sim._metrics_on:
                 # same logical point as the serial loop's per-partition
                 # sampling hook; the wavefront invariant makes the

@@ -199,6 +199,10 @@ def restore_state(sim: PartitionedSimulation, state: dict) -> None:
     telemetry_state = state.get("telemetry")
     if telemetry_state is not None and sim.telemetry.enabled:
         sim.telemetry.load_state_dict(telemetry_state)
+    # the arrival/consume dicts above were replaced wholesale; any
+    # compiled schedule (and its step functions) binds the old deque
+    # objects, so force a rebuild before the next pass
+    sim.invalidate_schedule()
 
 
 def save_checkpoint(sim: PartitionedSimulation,

@@ -277,6 +277,19 @@ def check_bench_files(results_dir: Union[str, Path],
             violations.append(Violation(
                 "BENCH_socket_tier.json", "detail_bit_identical",
                 1.0, 0.0, 0.0))
+    stepjit = load("BENCH_stepjit.json")
+    if stepjit is not None:
+        floor = stepjit.get("speedup_floor", 5.0)
+        speedup = stepjit.get("speedup")
+        if speedup is not None and speedup < floor:
+            violations.append(Violation(
+                "BENCH_stepjit.json", "speedup",
+                floor, speedup, 0.0))
+        identical = stepjit.get("detail_bit_identical")
+        if identical is not None and not identical:
+            violations.append(Violation(
+                "BENCH_stepjit.json", "detail_bit_identical",
+                1.0, 0.0, 0.0))
     return violations
 
 

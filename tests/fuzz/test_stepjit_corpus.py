@@ -1,0 +1,81 @@
+"""Step-JIT differential replay of the committed regression corpus.
+
+Every repro in ``tests/fuzz/corpus/`` is replayed twice — compiled step
+functions on and off — and the full functional digest (tokens, per-
+partition cycles, the complete FMR ``detail`` breakdown, and the
+recorded output stream) must match bit for bit.  The same holds on
+every process backend, which exercises the worker-side compile path
+(`only=` restriction) and the shm/socket transports under the JIT.
+
+These are the tests the bit-exactness contract in
+``repro.harness.stepjit`` points at: the generated code may reorder
+nothing observable, on any backend.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import functional_digest, load_repro, make_sim
+from repro.parallel.coordinator import fork_available
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+PROCESS_BACKENDS = ("process", "process-shm", "process-socket")
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="process backends need os.fork")
+
+
+def _replay(path, backend, stepjit):
+    scenario, _ = load_repro(path)
+    sim = make_sim(scenario)
+    sim.stepjit = stepjit
+    result = sim.run(scenario.cycles, backend=backend)
+    return sim, result, functional_digest(sim, result)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_exists_and_jit_matches_interpreter(path):
+    sim_jit, _, dig_jit = _replay(path, "inproc", True)
+    sim_int, _, dig_int = _replay(path, "inproc", False)
+    assert dig_jit == dig_int
+    # the off-side really ran interpreted, and the on-side really
+    # compiled at least one partition (otherwise this differential
+    # would be vacuous)
+    assert all(v.startswith("disabled")
+               for v in sim_int.last_jit_report.values())
+    assert any(v.startswith("compiled")
+               for v in sim_jit.last_jit_report.values())
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_detail_bit_identical(path):
+    """`detail` (the FMR span breakdown) compared field by field, so a
+    drift names the partition and component instead of a dict diff."""
+    _, r_jit, _ = _replay(path, "inproc", True)
+    _, r_int, _ = _replay(path, "inproc", False)
+    assert r_jit.detail.keys() == r_int.detail.keys()
+    for pname in r_int.detail:
+        assert r_jit.detail[pname] == r_int.detail[pname], pname
+    assert r_jit.wall_ns == r_int.wall_ns
+    assert r_jit.tokens_transferred == r_int.tokens_transferred
+
+
+@needs_fork
+@pytest.mark.parametrize("backend", PROCESS_BACKENDS)
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_jit_matches_across_process_backends(path, backend):
+    _, _, dig_jit = _replay(path, backend, True)
+    _, _, dig_int = _replay(path, backend, False)
+    assert dig_jit == dig_int
+
+
+@needs_fork
+def test_backend_digests_agree_under_jit():
+    """All four backends produce one digest with the JIT on — the
+    compiled plans are transport-independent."""
+    path = CORPUS[0]
+    _, _, reference = _replay(path, "inproc", True)
+    for backend in PROCESS_BACKENDS:
+        _, _, dig = _replay(path, backend, True)
+        assert dig == reference, backend

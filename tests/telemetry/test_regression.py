@@ -162,6 +162,24 @@ class TestCheckBenchFiles:
         }))
         assert check_bench_files(tmp_path) == []
 
+    def test_stepjit_violations_flag(self, tmp_path):
+        (tmp_path / "BENCH_stepjit.json").write_text(json.dumps({
+            "speedup": 3.2,
+            "speedup_floor": 5.0,
+            "detail_bit_identical": False,
+        }))
+        violations = check_bench_files(tmp_path)
+        assert [v.metric for v in violations] == [
+            "speedup", "detail_bit_identical"]
+
+    def test_stepjit_clean_passes(self, tmp_path):
+        (tmp_path / "BENCH_stepjit.json").write_text(json.dumps({
+            "speedup": 19.5,
+            "speedup_floor": 5.0,
+            "detail_bit_identical": True,
+        }))
+        assert check_bench_files(tmp_path) == []
+
     def test_empty_results_dir_passes(self, tmp_path):
         assert check_bench_files(tmp_path) == []
 
